@@ -1,0 +1,46 @@
+# uvmdiscard build targets. Everything is stdlib Go; no external deps.
+
+GO ?= go
+
+.PHONY: all build test test-short bench examples repro csv clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+# Full suite, including the full-scale reproduction gates (~1 min).
+test:
+	$(GO) test ./...
+
+# Unit tests only (seconds).
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure + ablations + extensions.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/sorting
+	$(GO) run ./examples/hashjoin
+	$(GO) run ./examples/inference
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/advisor
+	$(GO) run ./examples/deeplearning -model rnn -batch 240
+
+# Regenerate every table and figure at the paper's full problem sizes.
+repro:
+	$(GO) run ./cmd/paperbench -chart
+
+# Emit per-table CSVs for external plotting.
+csv:
+	$(GO) run ./cmd/paperbench -csv out/
+
+clean:
+	$(GO) clean ./...
+	rm -rf out/

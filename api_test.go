@@ -1,0 +1,171 @@
+package uvmdiscard_test
+
+import (
+	"testing"
+
+	"uvmdiscard"
+)
+
+// The facade must support the full Listing 2/3 lifecycle without touching
+// internal packages.
+func TestPublicAPILifecycle(t *testing.T) {
+	ctx, err := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU:   uvmdiscard.GenericGPU(16 * uvmdiscard.MiB),
+		Link:  uvmdiscard.PCIe3(),
+		Trace: uvmdiscard.NewTraceRecorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.MallocManaged("x", 4*uvmdiscard.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.HostWrite(0, buf.Size()); err != nil {
+		t.Fatal(err)
+	}
+	s := ctx.Stream("s")
+	if err := s.PrefetchAll(buf, uvmdiscard.ToGPU); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(uvmdiscard.Kernel{
+		Name:     "k",
+		Compute:  ctx.ComputeForBytes(float64(buf.Size())),
+		Accesses: []uvmdiscard.Access{{Buf: buf, Mode: uvmdiscard.Read}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DiscardAll(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DiscardLazyAll(buf); err != nil {
+		t.Fatal(err)
+	}
+	ctx.DeviceSynchronize()
+
+	if ctx.Metrics().Traffic() == 0 {
+		t.Error("no traffic recorded")
+	}
+	an := uvmdiscard.AnalyzeRMT(ctx.Driver().Trace())
+	if an.Total() == 0 {
+		t.Error("trace recorded nothing")
+	}
+	if ctx.Elapsed() <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+func TestPublicAPIConstructors(t *testing.T) {
+	if uvmdiscard.RTX3080Ti().Name == "" || uvmdiscard.GTX1070().Name == "" {
+		t.Error("profile constructors broken")
+	}
+	if uvmdiscard.PCIe4().PeakBandwidth() <= uvmdiscard.PCIe3().PeakBandwidth() {
+		t.Error("link presets broken")
+	}
+	p := uvmdiscard.DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if uvmdiscard.DefaultAPICosts().Discard == nil {
+		t.Error("cost models broken")
+	}
+	if uvmdiscard.DefaultHost().Capacity() == 0 {
+		t.Error("host model broken")
+	}
+	if uvmdiscard.FormatSize(2*uvmdiscard.MiB) != "2 MiB" {
+		t.Error("FormatSize broken")
+	}
+	if uvmdiscard.BlockSize != 512*uvmdiscard.PageSize {
+		t.Error("size constants inconsistent")
+	}
+}
+
+// Multi-GPU and memory advice through the public facade.
+func TestPublicAPIMultiGPUAndAdvice(t *testing.T) {
+	ctx, err := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU:      uvmdiscard.GenericGPU(16 * uvmdiscard.MiB),
+		PeerGPUs: []uvmdiscard.GPUProfile{uvmdiscard.GenericGPU(16 * uvmdiscard.MiB)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.NumGPUs() != 2 {
+		t.Fatalf("GPUs = %d", ctx.NumGPUs())
+	}
+	buf, _ := ctx.MallocManaged("x", 4*uvmdiscard.MiB)
+	s := ctx.Stream("s")
+	if err := s.MemAdviseAll(buf, uvmdiscard.AdviseSetReadMostly); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(uvmdiscard.Kernel{Name: "k", GPU: 1,
+		Accesses: []uvmdiscard.Access{{Buf: buf, Mode: uvmdiscard.Write}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrefetchAllTo(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if peer, _ := ctx.Metrics().Peer(); peer == 0 {
+		t.Error("no peer traffic recorded")
+	}
+}
+
+// The advisor is reachable from the facade.
+func TestPublicAPIAdvisor(t *testing.T) {
+	ctx, err := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU:   uvmdiscard.GenericGPU(8 * uvmdiscard.MiB),
+		Trace: uvmdiscard.NewTraceRecorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.MallocManaged("tmp", 6*uvmdiscard.MiB)
+	other, _ := ctx.MallocManaged("live", 6*uvmdiscard.MiB)
+	s := ctx.Stream("s")
+	for _, k := range []uvmdiscard.Kernel{
+		{Name: "a", Accesses: []uvmdiscard.Access{{Buf: buf, Mode: uvmdiscard.Write}}},
+		{Name: "b", Accesses: []uvmdiscard.Access{{Buf: other, Mode: uvmdiscard.Write}}},
+		{Name: "c", Accesses: []uvmdiscard.Access{{Buf: buf, Mode: uvmdiscard.Write}}},
+	} {
+		if err := s.Launch(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := uvmdiscard.AdviseDiscards(ctx)
+	if len(rep.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if rep.Recommendations[0].AllocName != "tmp" {
+		t.Errorf("top = %q", rep.Recommendations[0].AllocName)
+	}
+}
+
+func TestPublicAPIA100AndNVLink(t *testing.T) {
+	if uvmdiscard.A100().Name == "" {
+		t.Error("A100 profile broken")
+	}
+	nv := uvmdiscard.NVLink()
+	if !nv.Coherent() {
+		t.Error("NVLink should be coherent")
+	}
+	p := uvmdiscard.DefaultParams()
+	p.RemoteAccessMigrateThreshold = 3
+	ctx, err := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU: uvmdiscard.GenericGPU(16 * uvmdiscard.MiB), Link: nv, Params: &p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.MallocManaged("x", 2*uvmdiscard.MiB)
+	if err := buf.HostWrite(0, buf.Size()); err != nil {
+		t.Fatal(err)
+	}
+	s := ctx.Stream("s")
+	if err := s.Launch(uvmdiscard.Kernel{Name: "k",
+		Accesses: []uvmdiscard.Access{{Buf: buf, Mode: uvmdiscard.Read}}}); err != nil {
+		t.Fatal(err)
+	}
+	// First access on a coherent link with a threshold is served remotely.
+	if ctx.Metrics().Bytes(uvmdiscard.H2D, uvmdiscard.CauseRemote) == 0 {
+		t.Error("no remote traffic on coherent link")
+	}
+}

@@ -1,0 +1,99 @@
+// Command paperbench regenerates every table and figure from the paper's
+// evaluation and prints them with the paper's reported values alongside.
+//
+// Usage:
+//
+//	paperbench                 # run everything at full scale
+//	paperbench -run T3,T4      # only the FIR tables
+//	paperbench -run fir-runtime
+//	paperbench -quick          # scaled-down sizes (seconds instead of minutes)
+//	paperbench -list           # list available experiments
+//	paperbench -o results.txt  # also write the output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"uvmdiscard/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment IDs or names (default: all)")
+		quick  = flag.Bool("quick", false, "scaled-down problem sizes")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		out    = flag.String("o", "", "also write results to this file")
+		csvDir = flag.String("csv", "", "also write each table as <dir>/<id>.csv for plotting")
+		chart  = flag.Bool("chart", false, "render figure experiments as terminal bar charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	opts := experiments.Options{Quick: *quick}
+	fmt.Fprintf(w, "uvmdiscard paperbench — reproducing IISWC'22 \"UVM Discard\" (quick=%v)\n\n", *quick)
+	for _, e := range selected {
+		started := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, tbl.String())
+		if *chart && strings.HasPrefix(tbl.ID, "F") {
+			if col := tbl.DefaultChartColumn(); col > 0 {
+				fmt.Fprintln(w, tbl.Chart(col, 40))
+			}
+		}
+		fmt.Fprintf(w, "  (%s ran in %v wall time)\n\n", e.ID, time.Since(started).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, tbl.ID+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command rmtchar characterizes redundant memory transfers the way the
+// paper's Figure 3 does: it runs a workload under plain UVM with
+// driver-event tracing on, classifies every transfer as required or
+// redundant, and prints the breakdown.
+//
+// Usage:
+//
+//	rmtchar -workload dl -model resnet53 -batches 30,56,85,115,150
+//	rmtchar -workload fir -ovsp 200
+//	rmtchar -workload hashjoin -ovsp 300 -system UvmDiscard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uvmdiscard/internal/dnn"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/trace"
+	"uvmdiscard/internal/workloads"
+	"uvmdiscard/internal/workloads/fir"
+	"uvmdiscard/internal/workloads/hashjoin"
+	"uvmdiscard/internal/workloads/radixsort"
+)
+
+var (
+	advise = flag.Bool("advise", false, "print discard-insertion advice per run (§8 extension)")
+	dump   = flag.String("dump", "", "write the last run's driver trace as JSON Lines to this file")
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "dl", "dl | fir | radixsort | hashjoin")
+		system   = flag.String("system", "UVM-opt", "system to characterize")
+		ovsp     = flag.Int("ovsp", 200, "oversubscription percent for the micro-benchmarks")
+		model    = flag.String("model", "resnet53", "dl model")
+		batches  = flag.String("batches", "30,56,85,115,150", "dl batch sweep")
+	)
+	flag.Parse()
+
+	sys := workloads.UVMOpt
+	for _, s := range []workloads.System{workloads.UVMOpt, workloads.UvmDiscard, workloads.UvmDiscardLazy} {
+		if strings.EqualFold(s.String(), *system) {
+			sys = s
+		}
+	}
+
+	p := workloads.Platform{GPU: gpudev.RTX3080Ti(), Gen: pcie.Gen4, TraceRMT: true}
+
+	switch strings.ToLower(*workload) {
+	case "dl", "dnn":
+		m := map[string]func() *dnn.ModelSpec{
+			"vgg16": dnn.VGG16, "darknet19": dnn.Darknet19,
+			"resnet53": dnn.ResNet53, "rnn": dnn.RNN,
+		}[strings.ToLower(*model)]
+		if m == nil {
+			fail(fmt.Errorf("unknown model %q", *model))
+		}
+		spec := m()
+		fmt.Printf("RMT characterization: %s training under %v (cf. Figure 3)\n\n", spec.Name, sys)
+		fmt.Printf("%-8s %-12s %-12s %-12s %-12s %s\n",
+			"batch", "total GB", "required", "redundant", "redundant%", "transfers")
+		for _, bs := range strings.Split(*batches, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(bs))
+			if err != nil {
+				fail(err)
+			}
+			r, err := dnn.Train(p, sys, dnn.TrainConfig{Model: spec, Batch: b})
+			if err != nil {
+				fail(err)
+			}
+			printRow(fmt.Sprintf("%d", b), r.Result)
+		}
+	case "fir":
+		p.OversubPercent = *ovsp
+		r, err := fir.Run(p, sys, fir.DefaultConfig())
+		if err != nil {
+			fail(err)
+		}
+		header(sys, *ovsp)
+		printRow("fir", r)
+	case "radixsort", "radix":
+		p.OversubPercent = *ovsp
+		r, err := radixsort.Run(p, sys, radixsort.DefaultConfig())
+		if err != nil {
+			fail(err)
+		}
+		header(sys, *ovsp)
+		printRow("radix", r)
+	case "hashjoin", "hash":
+		p.OversubPercent = *ovsp
+		r, err := hashjoin.Run(p, sys, hashjoin.DefaultConfig())
+		if err != nil {
+			fail(err)
+		}
+		header(sys, *ovsp)
+		printRow("hashjoin", r)
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+}
+
+func header(sys workloads.System, ovsp int) {
+	fmt.Printf("RMT characterization under %v at %d%% oversubscription\n\n", sys, ovsp)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-12s %s\n",
+		"run", "total GB", "required", "redundant", "redundant%", "transfers")
+}
+
+func dumpTrace(r workloads.Result) {
+	if *dump == "" || r.Trace == nil {
+		return
+	}
+	f, err := os.Create(*dump)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := trace.WriteJSON(f, r.Trace); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ntrace written to %s (%d events)\n", *dump, r.Trace.Len())
+}
+
+func printRow(label string, r workloads.Result) {
+	a := r.Analysis
+	if a == nil {
+		a = &trace.Analysis{}
+	}
+	fmt.Printf("%-8s %-12.2f %-12.2f %-12.2f %-12.1f %d (%d redundant)\n",
+		label, gb(a.Total()), gb(a.RequiredBytes), gb(a.Redundant()),
+		100*a.RedundantFraction(), a.TransferCount, a.RedundantCount)
+	if *advise && r.Advice != nil {
+		fmt.Println()
+		fmt.Print(r.Advice.String())
+	}
+	dumpTrace(r)
+}
+
+func gb(n uint64) float64 { return float64(n) / 1e9 }
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rmtchar: %v\n", err)
+	os.Exit(1)
+}

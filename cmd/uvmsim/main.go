@@ -1,0 +1,196 @@
+// Command uvmsim runs a single workload under one memory-management system
+// and prints runtime, traffic, and driver instrumentation.
+//
+// Usage:
+//
+//	uvmsim -workload fir -system UvmDiscard -ovsp 200
+//	uvmsim -workload radixsort -system UVM-opt -pcie 3
+//	uvmsim -workload hashjoin -system UvmDiscardLazy -ovsp 300
+//	uvmsim -workload dl -model resnet53 -batch 115 -system UvmDiscard
+//	uvmsim -workload dl -model vgg16 -batch 60 -system PyTorch-LMS -gpu gtx1070
+//	uvmsim -workload infer -batch 64 -discard -readmostly
+//	uvmsim -workload fir -ovsp 200 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvmdiscard/internal/dnn"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/lms"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+	"uvmdiscard/internal/workloads/fir"
+	"uvmdiscard/internal/workloads/graph"
+	"uvmdiscard/internal/workloads/hashjoin"
+	"uvmdiscard/internal/workloads/radixsort"
+)
+
+var jsonOut = flag.Bool("json", false, "emit the result as JSON (for scripting)")
+
+func main() {
+	var (
+		workload = flag.String("workload", "fir", "fir | radixsort | hashjoin | graph | dl | infer")
+		system   = flag.String("system", "UVM-opt", "UVM-opt | UvmDiscard | UvmDiscardLazy | No-UVM | PyTorch-LMS")
+		ovsp     = flag.Int("ovsp", 0, "oversubscription percent (0 = fits; 200/300/400 reserve GPU memory)")
+		gen      = flag.Int("pcie", 4, "PCIe generation (3 or 4)")
+		gpu      = flag.String("gpu", "3080ti", "3080ti | gtx1070")
+		model    = flag.String("model", "vgg16", "dl model: vgg16 | darknet19 | resnet53 | rnn")
+		batch    = flag.Int("batch", 75, "dl batch size")
+		steps    = flag.Int("steps", 0, "dl training steps (0 = default)")
+		disc     = flag.Bool("discard", false, "infer: discard activations")
+		recomp   = flag.Bool("recompute", false, "dl: train with activation recomputation")
+		readMost = flag.Bool("readmostly", false, "infer/graph: advise SetReadMostly on weights/edges")
+		weights  = flag.String("weights", "18GiB", "infer: total served model weights")
+	)
+	flag.Parse()
+
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fail(err)
+	}
+	p := workloads.Platform{
+		Gen:            pcie.Generation(*gen),
+		OversubPercent: *ovsp,
+	}
+	switch strings.ToLower(*gpu) {
+	case "3080ti":
+		p.GPU = gpudev.RTX3080Ti()
+	case "gtx1070":
+		p.GPU = gpudev.GTX1070()
+	default:
+		fail(fmt.Errorf("unknown GPU %q", *gpu))
+	}
+
+	switch strings.ToLower(*workload) {
+	case "fir":
+		report(fir.Run(p, sys, fir.DefaultConfig()))
+	case "radixsort", "radix":
+		report(radixsort.Run(p, sys, radixsort.DefaultConfig()))
+	case "hashjoin", "hash":
+		report(hashjoin.Run(p, sys, hashjoin.DefaultConfig()))
+	case "graph", "bfs":
+		cfg := graph.DefaultConfig()
+		cfg.ReadMostlyEdges = *readMost
+		report(graph.Run(p, sys, cfg))
+	case "infer", "inference":
+		total, err := units.Parse(*weights)
+		if err != nil {
+			fail(err)
+		}
+		r, err := dnn.Infer(p, dnn.InferConfig{
+			Model: dnn.LargeModel(total, 24), Batch: *batch, Requests: *steps,
+			Discard: *disc, AdviseWeights: *readMost,
+		})
+		reportTrain(r, err)
+	case "dl", "dnn":
+		m, err := parseModel(*model)
+		if err != nil {
+			fail(err)
+		}
+		if sys == workloads.PyTorchLMS {
+			r, err := lms.Train(p, lms.Config{Model: m, Batch: *batch, Steps: *steps})
+			reportTrain(r, err)
+			return
+		}
+		r, err := dnn.Train(p, sys, dnn.TrainConfig{
+			Model: m, Batch: *batch, Steps: *steps, Recompute: *recomp,
+		})
+		reportTrain(r, err)
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+}
+
+func parseSystem(s string) (workloads.System, error) {
+	for _, sys := range []workloads.System{
+		workloads.UVMOpt, workloads.UvmDiscard, workloads.UvmDiscardLazy,
+		workloads.NoUVM, workloads.PyTorchLMS,
+	} {
+		if strings.EqualFold(sys.String(), s) {
+			return sys, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+func parseModel(s string) (*dnn.ModelSpec, error) {
+	switch strings.ToLower(s) {
+	case "vgg16", "vgg-16":
+		return dnn.VGG16(), nil
+	case "darknet19", "darknet-19":
+		return dnn.Darknet19(), nil
+	case "resnet53", "resnet-53":
+		return dnn.ResNet53(), nil
+	case "rnn":
+		return dnn.RNN(), nil
+	}
+	return nil, fmt.Errorf("unknown model %q", s)
+}
+
+func report(r workloads.Result, err error) {
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		emitJSON(map[string]any{
+			"system":      r.System.String(),
+			"runtimeNs":   int64(r.Runtime),
+			"trafficGB":   gb(r.TrafficBytes),
+			"h2dGB":       gb(r.H2DBytes),
+			"d2hGB":       gb(r.D2HBytes),
+			"savedH2DGB":  gb(r.SavedH2D),
+			"savedD2HGB":  gb(r.SavedD2H),
+			"faultH2DGB":  gb(r.FaultH2D),
+			"evictD2HGB":  gb(r.EvictD2H),
+			"remoteH2DGB": gb(r.RemoteH2D),
+		})
+		return
+	}
+	fmt.Printf("system:    %v\n", r.System)
+	fmt.Printf("runtime:   %v\n", r.Runtime)
+	fmt.Printf("traffic:   %.2f GB (H2D %.2f, D2H %.2f)\n",
+		gb(r.TrafficBytes), gb(r.H2DBytes), gb(r.D2HBytes))
+	fmt.Printf("breakdown: fault H2D %.2f, prefetch H2D %.2f, eviction D2H %.2f, migration D2H %.2f\n",
+		gb(r.FaultH2D), gb(r.PrefetchH2D), gb(r.EvictD2H), gb(r.MigrateD2H))
+	fmt.Printf("saved by discard: H2D %.2f GB, D2H %.2f GB\n", gb(r.SavedH2D), gb(r.SavedD2H))
+}
+
+func reportTrain(r dnn.TrainResult, err error) {
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		emitJSON(map[string]any{
+			"system":      r.System.String(),
+			"runtimeNs":   int64(r.Runtime),
+			"trafficGB":   gb(r.TrafficBytes),
+			"footprintGB": gb(uint64(r.Footprint)),
+			"throughput":  r.Throughput,
+		})
+		return
+	}
+	report(r.Result, nil)
+	fmt.Printf("footprint: %.2f GB\n", gb(uint64(r.Footprint)))
+	fmt.Printf("throughput: %.1f img/s\n", r.Throughput)
+}
+
+func emitJSON(v map[string]any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+func gb(n uint64) float64 { return float64(n) / 1e9 }
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package uvmdiscard_test
+
+import (
+	"fmt"
+
+	"uvmdiscard"
+)
+
+// The basic lifecycle: allocate unified memory, stage it, consume it on
+// the GPU, and discard it once the contents are dead.
+func Example() {
+	ctx, _ := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU:  uvmdiscard.GenericGPU(64 * uvmdiscard.MiB),
+		Link: uvmdiscard.PCIe4(),
+	})
+	buf, _ := ctx.MallocManaged("data", 8*uvmdiscard.MiB)
+	buf.HostWrite(0, buf.Size())
+
+	s := ctx.Stream("main")
+	s.PrefetchAll(buf, uvmdiscard.ToGPU)
+	s.Launch(uvmdiscard.Kernel{
+		Name:     "consume",
+		Compute:  ctx.ComputeForBytes(float64(buf.Size())),
+		Accesses: []uvmdiscard.Access{{Buf: buf, Mode: uvmdiscard.Read}},
+	})
+	s.DiscardAll(buf)
+	ctx.DeviceSynchronize()
+
+	fmt.Printf("H2D traffic: %s\n",
+		uvmdiscard.FormatSize(uvmdiscard.Size(ctx.Metrics().TotalBytes(uvmdiscard.H2D))))
+	// Output:
+	// H2D traffic: 8 MiB
+}
+
+// Demonstrates the Figure 2 scenario: under memory pressure a dead buffer
+// normally ping-pongs across the bus; discarding it lets the eviction
+// process reclaim its memory for free.
+func Example_discardUnderPressure() {
+	ctx, _ := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU: uvmdiscard.GenericGPU(8 * uvmdiscard.MiB), // 4 chunks
+	})
+	s := ctx.Stream("main")
+
+	scratch, _ := ctx.MallocManaged("scratch", 6*uvmdiscard.MiB)
+	s.Launch(uvmdiscard.Kernel{Name: "fill",
+		Accesses: []uvmdiscard.Access{{Buf: scratch, Mode: uvmdiscard.Write}}})
+	s.DiscardAll(scratch) // the scratch contents are dead
+
+	// Pressure: another buffer needs the space.
+	other, _ := ctx.MallocManaged("other", 6*uvmdiscard.MiB)
+	s.Launch(uvmdiscard.Kernel{Name: "use",
+		Accesses: []uvmdiscard.Access{{Buf: other, Mode: uvmdiscard.Write}}})
+	ctx.DeviceSynchronize()
+
+	h2d, d2h := ctx.Metrics().Saved()
+	fmt.Printf("traffic: %d bytes; avoided by discard: %s\n",
+		ctx.Metrics().Traffic(),
+		uvmdiscard.FormatSize(uvmdiscard.Size(h2d+d2h)))
+	// Output:
+	// traffic: 0 bytes; avoided by discard: 4 MiB
+}
+
+// Profiling a run and asking the advisor where discards belong (the §8
+// reuse-distance extension).
+func Example_adviseDiscards() {
+	ctx, _ := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU:   uvmdiscard.GenericGPU(8 * uvmdiscard.MiB),
+		Trace: uvmdiscard.NewTraceRecorder(),
+	})
+	s := ctx.Stream("main")
+	temp, _ := ctx.MallocManaged("temp", 6*uvmdiscard.MiB)
+	live, _ := ctx.MallocManaged("live", 6*uvmdiscard.MiB)
+
+	// temp is written, spilled under pressure, then only overwritten: its
+	// transfers moved dead bytes.
+	s.Launch(uvmdiscard.Kernel{Name: "a",
+		Accesses: []uvmdiscard.Access{{Buf: temp, Mode: uvmdiscard.Write}}})
+	s.Launch(uvmdiscard.Kernel{Name: "b",
+		Accesses: []uvmdiscard.Access{{Buf: live, Mode: uvmdiscard.Write}}})
+	s.Launch(uvmdiscard.Kernel{Name: "c",
+		Accesses: []uvmdiscard.Access{{Buf: temp, Mode: uvmdiscard.Write}}})
+	ctx.DeviceSynchronize()
+
+	rep := uvmdiscard.AdviseDiscards(ctx)
+	fmt.Printf("top recommendation: %s\n", rep.Recommendations[0].AllocName)
+	// Output:
+	// top recommendation: temp
+}

@@ -1,0 +1,104 @@
+// Advisor: the closed optimization loop the paper's related work points at
+// (§8) — profile a program, let the reuse-distance analysis diagnose where
+// discards belong, apply them, and measure again.
+//
+// The program is a small iterative solver with a scratch buffer that dies
+// every iteration. Pass 1 runs unmodified with tracing on; the advisor
+// flags the scratch buffer and quantifies the wasted transfers. Pass 2
+// applies the suggested discards and re-measures.
+//
+// Run with:
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmdiscard"
+)
+
+const (
+	gpuMemory  = 96 * uvmdiscard.MiB
+	stateSize  = 64 * uvmdiscard.MiB
+	scratchSiz = 64 * uvmdiscard.MiB
+	iterations = 10
+)
+
+func main() {
+	// Pass 1: profile.
+	profile, report := run(nil)
+	fmt.Println("pass 1 (profiling):")
+	fmt.Printf("  traffic: %.2f GB\n\n", gb(profile))
+	fmt.Println(report.String())
+
+	// Apply the advice: discard every buffer the advisor flagged.
+	flagged := map[string]bool{}
+	for _, rec := range report.Recommendations {
+		flagged[rec.AllocName] = true
+	}
+	optimized, _ := run(flagged)
+	fmt.Println("pass 2 (with the suggested discards):")
+	fmt.Printf("  traffic: %.2f GB (%.0f%% less)\n",
+		gb(optimized), 100*(1-float64(optimized)/float64(profile)))
+}
+
+// run executes the solver; buffers whose names appear in discardSet get a
+// discard after their last use each iteration. It returns total traffic
+// and, when profiling, the advisor's report.
+func run(discardSet map[string]bool) (uint64, *uvmdiscard.AdvisorReport) {
+	cfg := uvmdiscard.Config{GPU: uvmdiscard.GenericGPU(gpuMemory)}
+	if discardSet == nil {
+		cfg.Trace = uvmdiscard.NewTraceRecorder()
+	}
+	ctx, err := uvmdiscard.NewContext(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state, _ := ctx.MallocManaged("state", stateSize)
+	scratch, _ := ctx.MallocManaged("scratch", scratchSiz)
+	s := ctx.Stream("solver")
+
+	for i := 0; i < iterations; i++ {
+		// Build this iteration's residuals into the scratch buffer.
+		must(s.Launch(uvmdiscard.Kernel{
+			Name:    "residuals",
+			Compute: ctx.ComputeForBytes(float64(scratchSiz)),
+			Accesses: []uvmdiscard.Access{
+				{Buf: state, Mode: uvmdiscard.Read},
+				{Buf: scratch, Mode: uvmdiscard.Write},
+			},
+		}))
+		// Fold them back into the state; the scratch contents are dead.
+		must(s.Launch(uvmdiscard.Kernel{
+			Name:    "update",
+			Compute: ctx.ComputeForBytes(float64(stateSize)),
+			Accesses: []uvmdiscard.Access{
+				{Buf: scratch, Mode: uvmdiscard.Read},
+				{Buf: state, Mode: uvmdiscard.ReadWrite},
+			},
+		}))
+		if discardSet["scratch"] {
+			must(s.DiscardAll(scratch))
+		}
+		if discardSet["state"] {
+			must(s.DiscardAll(state)) // the advisor will NOT suggest this
+		}
+	}
+	ctx.DeviceSynchronize()
+
+	var report *uvmdiscard.AdvisorReport
+	if discardSet == nil {
+		report = uvmdiscard.AdviseDiscards(ctx)
+	}
+	return ctx.Metrics().Traffic(), report
+}
+
+func gb(n uint64) float64 { return float64(n) / 1e9 }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Inference: serving a model whose weights exceed GPU memory, showing how
+// the discard directive composes with cudaMemAdvise-style hints.
+//
+// Without hints, every serving pass the driver swaps unmodified weights
+// out to the host (NVIDIA GPUs lack per-PTE dirty bits, so UVM cannot know
+// the host copy is still valid — the same hardware limitation that shapes
+// the paper's UvmDiscard design, §5). SetReadMostly keeps a valid host
+// duplicate so those evictions move nothing; DiscardAll kills the
+// ping-ponging activation buffers.
+//
+// Run with:
+//
+//	go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmdiscard"
+)
+
+const (
+	gpuMemory   = 512 * uvmdiscard.MiB
+	layerCount  = 12
+	weightTotal = 768 * uvmdiscard.MiB // 1.5x GPU memory
+	actSize     = 8 * uvmdiscard.MiB
+	requests    = 3
+)
+
+func main() {
+	fmt.Printf("serving %s of weights through a %s GPU\n\n",
+		uvmdiscard.FormatSize(weightTotal), uvmdiscard.FormatSize(gpuMemory))
+	fmt.Printf("%-28s %12s %10s %10s\n", "", "traffic", "D2H", "time")
+
+	for _, spec := range []struct {
+		name            string
+		advise, discard bool
+	}{
+		{"plain UVM", false, false},
+		{"read-mostly weights", true, false},
+		{"read-mostly + discard", true, true},
+	} {
+		traffic, d2h, elapsed := serve(spec.advise, spec.discard)
+		fmt.Printf("%-28s %9.2f GB %7.2f GB %10v\n",
+			spec.name, gb(traffic), gb(d2h), elapsed)
+	}
+	fmt.Println("\nread-mostly removes the weight swap-outs; discard removes dead activations")
+}
+
+func serve(advise, discard bool) (traffic, d2h uint64, elapsed uvmdiscard.Time) {
+	ctx, err := uvmdiscard.NewContext(uvmdiscard.Config{
+		GPU:  uvmdiscard.GenericGPU(gpuMemory),
+		Link: uvmdiscard.PCIe4(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ctx.Stream("serve")
+
+	// Load the checkpoint.
+	weights := make([]*uvmdiscard.Buffer, layerCount)
+	for i := range weights {
+		w, err := ctx.MallocManaged(fmt.Sprintf("w%d", i), weightTotal/layerCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		must(w.HostWrite(0, w.Size()))
+		if advise {
+			must(s.MemAdviseAll(w, uvmdiscard.AdviseSetReadMostly))
+		}
+		weights[i] = w
+	}
+	actA, _ := ctx.MallocManaged("act-a", actSize)
+	actB, _ := ctx.MallocManaged("act-b", actSize)
+
+	start := ctx.Elapsed()
+	for r := 0; r < requests; r++ {
+		src, dst := actA, actB
+		for i, w := range weights {
+			if discard {
+				must(s.PrefetchAll(dst, uvmdiscard.ToGPU))
+			}
+			accesses := []uvmdiscard.Access{
+				{Buf: w, Mode: uvmdiscard.Read},
+				{Buf: dst, Mode: uvmdiscard.Write},
+			}
+			if i > 0 {
+				accesses = append(accesses, uvmdiscard.Access{Buf: src, Mode: uvmdiscard.Read})
+			}
+			must(s.Launch(uvmdiscard.Kernel{
+				Name:     fmt.Sprintf("layer%d", i),
+				Compute:  ctx.ComputeForBytes(float64(w.Size())),
+				Accesses: accesses,
+			}))
+			if discard && i > 0 {
+				must(s.DiscardAll(src))
+			}
+			src, dst = dst, src
+		}
+		must(src.HostRead(0, src.Size()))
+		if discard {
+			must(s.DiscardAll(src))
+		}
+	}
+	ctx.DeviceSynchronize()
+	m := ctx.Metrics()
+	return m.Traffic(), m.TotalBytes(uvmdiscard.D2H), ctx.Elapsed() - start
+}
+
+func gb(n uint64) float64 { return float64(n) / 1e9 }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

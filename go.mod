@@ -1,0 +1,3 @@
+module uvmdiscard
+
+go 1.22

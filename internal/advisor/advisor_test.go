@@ -1,0 +1,192 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/trace"
+	"uvmdiscard/internal/units"
+)
+
+func ev(t sim.Time, k trace.Kind, alloc, block int, bytes uint64) trace.Event {
+	return trace.Event{T: t, Kind: k, Alloc: alloc, Block: block, Bytes: bytes}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	rep := Analyze(nil, nil)
+	if rep.Potential() != 0 || len(rep.Recommendations) != 0 {
+		t.Error("nil trace should yield empty report")
+	}
+	if !strings.Contains(rep.String(), "no redundant transfers") {
+		t.Error("empty report message missing")
+	}
+	rep = Analyze(trace.NewRecorder(), nil)
+	if rep.TotalTraffic != 0 {
+		t.Error("empty recorder not empty")
+	}
+}
+
+// The canonical RMT ping-pong: written, evicted, migrated back, and only
+// then overwritten — both transfers were wasted, so the advisor must flag
+// the buffer.
+func TestFlagsPingPong(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Record(ev(1, trace.GPUWrite, 7, 0, 100))
+	r.Record(ev(2, trace.TransferD2H, 7, 0, 100))
+	r.Record(ev(3, trace.TransferH2D, 7, 0, 100))
+	r.Record(ev(4, trace.GPUWrite, 7, 0, 100))
+	rep := Analyze(r, func(id int) string { return "temp-buffer" })
+	if len(rep.Recommendations) != 1 {
+		t.Fatalf("recommendations = %d", len(rep.Recommendations))
+	}
+	rec := rep.Recommendations[0]
+	if rec.AllocID != 7 || rec.AllocName != "temp-buffer" {
+		t.Errorf("identity wrong: %+v", rec)
+	}
+	if rec.WastedBytes != 200 {
+		t.Errorf("wasted = %d, want 200 (both directions)", rec.WastedBytes)
+	}
+	if rec.DeadIntervals != 1 {
+		t.Errorf("intervals = %d", rec.DeadIntervals)
+	}
+	if rep.Potential() != 1.0 {
+		t.Errorf("potential = %v, want 1.0", rep.Potential())
+	}
+}
+
+// Consumed transfers must not be flagged.
+func TestUsefulTransfersNotFlagged(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Record(ev(1, trace.TransferH2D, 1, 0, 100))
+	r.Record(ev(2, trace.GPURead, 1, 0, 100))
+	r.Record(ev(3, trace.TransferD2H, 1, 0, 100))
+	r.Record(ev(4, trace.CPURead, 1, 0, 100))
+	rep := Analyze(r, nil)
+	if len(rep.Recommendations) != 0 {
+		t.Errorf("useful transfers flagged: %+v", rep.Recommendations)
+	}
+	if rep.TotalTraffic != 200 {
+		t.Errorf("traffic = %d", rep.TotalTraffic)
+	}
+}
+
+// A transfer whose data is never touched again is wasted.
+func TestTrailingTransferWasted(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Record(ev(1, trace.GPUWrite, 2, 0, 100))
+	r.Record(ev(2, trace.TransferD2H, 2, 0, 100))
+	rep := Analyze(r, nil)
+	if rep.TotalWasted != 100 {
+		t.Errorf("wasted = %d, want 100", rep.TotalWasted)
+	}
+	if rep.Recommendations[0].AllocName != "alloc-2" {
+		t.Errorf("default name = %q", rep.Recommendations[0].AllocName)
+	}
+}
+
+// Buffers that already get discarded are marked so the user knows coverage
+// is partial rather than missing.
+func TestAlreadyDiscardedMarked(t *testing.T) {
+	r := trace.NewRecorder()
+	// Block 0: discard present, still one wasted transfer beforehand.
+	r.Record(ev(1, trace.TransferH2D, 3, 0, 100))
+	r.Record(ev(2, trace.GPUWrite, 3, 0, 100))
+	r.Record(ev(3, trace.Discard, 3, 0, 100))
+	rep := Analyze(r, nil)
+	if len(rep.Recommendations) != 1 || !rep.Recommendations[0].AlreadyDiscarded {
+		t.Errorf("discard coverage not marked: %+v", rep.Recommendations)
+	}
+	if !strings.Contains(rep.String(), "partially discarded") {
+		t.Error("marker missing from rendering")
+	}
+}
+
+// Ranking: the biggest waster comes first; ties break by alloc ID.
+func TestRanking(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Record(ev(1, trace.TransferH2D, 1, 0, 50))
+	r.Record(ev(2, trace.GPUWrite, 1, 0, 50))
+	r.Record(ev(1, trace.TransferH2D, 2, 0, 500))
+	r.Record(ev(2, trace.GPUWrite, 2, 0, 500))
+	rep := Analyze(r, nil)
+	if len(rep.Recommendations) != 2 || rep.Recommendations[0].AllocID != 2 {
+		t.Errorf("ranking wrong: %+v", rep.Recommendations)
+	}
+}
+
+// Multiple generations on one block accumulate intervals.
+func TestMultipleDeadIntervals(t *testing.T) {
+	r := trace.NewRecorder()
+	for g := 0; g < 3; g++ {
+		base := sim.Time(10 * g)
+		r.Record(ev(base+1, trace.TransferH2D, 1, 0, 100))
+		r.Record(ev(base+2, trace.GPUWrite, 1, 0, 100))
+	}
+	rep := Analyze(r, nil)
+	if rep.Recommendations[0].DeadIntervals != 3 {
+		t.Errorf("intervals = %d, want 3", rep.Recommendations[0].DeadIntervals)
+	}
+	if rep.TotalWasted != 300 {
+		t.Errorf("wasted = %d", rep.TotalWasted)
+	}
+}
+
+// End-to-end: profile a Figure 2-style program through the real driver and
+// confirm the advisor points at the temporary buffer and quantifies the
+// waste the discard experiments actually recover.
+func TestEndToEndAdvice(t *testing.T) {
+	ctx, err := cuda.NewContext(core.Config{
+		GPU:   gpudev.Generic(4 * units.BlockSize),
+		Trace: trace.NewRecorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, _ := ctx.MallocManaged("scratch", 3*units.BlockSize)
+	other, _ := ctx.MallocManaged("live", 3*units.BlockSize)
+	s := ctx.Stream("s")
+	launch := func(buf *cuda.Buffer, mode core.AccessMode) {
+		t.Helper()
+		if err := s.Launch(cuda.Kernel{Name: "k",
+			Accesses: []cuda.Access{{Buf: buf, Mode: mode}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	launch(tmp, core.Write)   // scratch written
+	launch(other, core.Write) // pressure: scratch evicted (D2H, dead)
+	launch(tmp, core.Write)   // scratch overwritten: the H2D was dead too
+	launch(other, core.Read)  // live data consumed
+	ctx.DeviceSynchronize()
+
+	space := ctx.Driver().Space()
+	rep := Analyze(ctx.Driver().Trace(), func(id int) string {
+		if a := space.ByID(id); a != nil {
+			return a.Name()
+		}
+		return ""
+	})
+	if len(rep.Recommendations) == 0 {
+		t.Fatal("no advice for an RMT-heavy program")
+	}
+	top := rep.Recommendations[0]
+	if top.AllocName != "scratch" {
+		t.Errorf("top recommendation = %q, want scratch", top.AllocName)
+	}
+	if top.WastedBytes == 0 {
+		t.Error("no waste quantified")
+	}
+}
+
+// Resolver fallback: empty resolver result keeps the default name.
+func TestResolverFallback(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Record(ev(1, trace.TransferH2D, 9, 0, 10))
+	rep := Analyze(r, func(int) string { return "" })
+	if rep.Recommendations[0].AllocName != "alloc-9" {
+		t.Errorf("name = %q", rep.Recommendations[0].AllocName)
+	}
+}

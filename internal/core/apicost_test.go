@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+)
+
+// Table 2 anchors must reproduce exactly: the curves are calibrated on them.
+func TestTable2Anchors(t *testing.T) {
+	c := DefaultAPICosts()
+	cases := []struct {
+		curve *CostCurve
+		size  units.Size
+		want  float64 // microseconds
+	}{
+		{c.Malloc, 2 * units.MiB, 48},
+		{c.Malloc, 8 * units.MiB, 184},
+		{c.Malloc, 32 * units.MiB, 726},
+		{c.Malloc, 128 * units.MiB, 939},
+		{c.Free, 2 * units.MiB, 32},
+		{c.Free, 8 * units.MiB, 38},
+		{c.Free, 32 * units.MiB, 63},
+		{c.Free, 128 * units.MiB, 1184},
+		{c.Discard, 2 * units.MiB, 4},
+		{c.Discard, 8 * units.MiB, 7},
+		{c.Discard, 32 * units.MiB, 20},
+		{c.Discard, 128 * units.MiB, 70},
+	}
+	for _, cs := range cases {
+		got := cs.curve.Eval(cs.size).Microseconds()
+		if math.Abs(got-cs.want) > 0.01 {
+			t.Errorf("%s(%s) = %.2fµs, want %.2fµs",
+				cs.curve.Name(), units.Format(cs.size), got, cs.want)
+		}
+	}
+}
+
+// The paper's headline Table 2 observation: UvmDiscard is roughly an order
+// of magnitude cheaper than allocation/free at every size, and lazy discard
+// is cheaper still.
+func TestDiscardCheaperThanMallocFree(t *testing.T) {
+	c := DefaultAPICosts()
+	for _, size := range []units.Size{2 * units.MiB, 8 * units.MiB, 32 * units.MiB, 128 * units.MiB} {
+		disc := c.Discard.Eval(size)
+		if m := c.Malloc.Eval(size); disc*5 > m {
+			t.Errorf("at %s: discard %v not ≪ malloc %v", units.Format(size), disc, m)
+		}
+		if f := c.Free.Eval(size); disc > f {
+			t.Errorf("at %s: discard %v > free %v", units.Format(size), disc, f)
+		}
+		if lz := c.DiscardLazy.Eval(size); lz >= disc {
+			t.Errorf("at %s: lazy %v not cheaper than eager %v", units.Format(size), lz, disc)
+		}
+	}
+}
+
+func TestCostCurveInterpolation(t *testing.T) {
+	c := NewCostCurve("x", map[units.Size]sim.Time{
+		2 * units.MiB: sim.Micros(10),
+		8 * units.MiB: sim.Micros(30),
+	})
+	// Log-midpoint of 2 MiB and 8 MiB is 4 MiB: cost is the midpoint.
+	got := c.Eval(4 * units.MiB).Microseconds()
+	if math.Abs(got-20) > 0.01 {
+		t.Errorf("midpoint = %.2f, want 20", got)
+	}
+	// Monotone within the segment.
+	if c.Eval(3*units.MiB) >= c.Eval(5*units.MiB) {
+		t.Error("interpolation not monotone")
+	}
+}
+
+func TestCostCurveClampAndExtrapolate(t *testing.T) {
+	c := NewCostCurve("x", map[units.Size]sim.Time{
+		2 * units.MiB: sim.Micros(10),
+		8 * units.MiB: sim.Micros(30),
+	})
+	if c.Eval(0) != 0 {
+		t.Error("zero size should cost nothing")
+	}
+	if c.Eval(units.KiB) != sim.Micros(10) {
+		t.Error("below-first sizes should clamp to the first anchor")
+	}
+	// Above the last anchor: linear in bytes with the last segment slope
+	// (20µs per 6 MiB).
+	got := c.Eval(14 * units.MiB).Microseconds()
+	if math.Abs(got-50) > 0.1 {
+		t.Errorf("extrapolated = %.2f, want 50", got)
+	}
+}
+
+func TestCostCurveValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCostCurve("x", map[units.Size]sim.Time{units.MiB: 1}) },
+		func() { NewCostCurve("x", map[units.Size]sim.Time{0: 1, units.MiB: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDefaultAPICostConstants(t *testing.T) {
+	c := DefaultAPICosts()
+	if c.PrefetchIssue <= 0 || c.KernelLaunch <= 0 {
+		t.Error("issue costs must be positive")
+	}
+	if c.MallocManaged.Eval(units.GiB) >= c.Malloc.Eval(128*units.MiB) {
+		t.Error("managed allocation (VA-only) should be far cheaper than cudaMalloc")
+	}
+}

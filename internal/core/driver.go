@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/hostmem"
+	"uvmdiscard/internal/metrics"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/trace"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/vaspace"
+)
+
+// Config assembles a driver instance.
+type Config struct {
+	// GPU is the hardware profile of the primary GPU (index 0).
+	GPU gpudev.Profile
+	// PeerGPUs adds further GPUs (indices 1..n) connected to the primary
+	// through PeerLink — the multi-GPU topology §2.3 and §5.1 describe.
+	PeerGPUs []gpudev.Profile
+	// PeerLink is the GPU-to-GPU fabric (NVLink/NVSwitch class); defaults
+	// to a 600 GB/s NVSwitch-like link, the figure the paper quotes for
+	// A100 systems (§2.3).
+	PeerLink *pcie.Link
+	// ReservedBytes of GPU memory are pinned away to force an
+	// oversubscription ratio, modeling the paper's idle co-resident
+	// program (§7.1). Applies to the primary GPU.
+	ReservedBytes units.Size
+	// Link is the CPU-GPU interconnect; defaults to PCIe-4 if nil.
+	Link *pcie.Link
+	// Host models host DRAM; defaults to the paper's 64 GB host if nil.
+	Host *hostmem.Host
+	// Params are driver policy knobs; zero value means DefaultParams.
+	Params *Params
+	// Costs are the API cost models; nil means DefaultAPICosts (Table 2).
+	Costs *APICosts
+	// Metrics receives instrumentation; nil allocates a fresh collector.
+	Metrics *metrics.Collector
+	// Trace, when non-nil, records driver events for RMT analysis.
+	Trace *trace.Recorder
+}
+
+// Driver is the UVM driver model for one or more GPUs. It owns each
+// device's physical-chunk queues, the unified VA space, and the DMA
+// engines.
+type Driver struct {
+	devs     []*gpudev.Device
+	host     *hostmem.Host
+	link     *pcie.Link
+	peerLink *pcie.Link
+	space    *vaspace.Space
+	m        *metrics.Collector
+	tr       *trace.Recorder
+	p        Params
+	costs    *APICosts
+
+	// dma is the migration path between host and device. Although PCIe is
+	// full duplex and the GPU has per-direction copy engines, the paper's
+	// platform bottlenecks both directions in host DRAM ("the CPU DRAM is
+	// DDR4 3200, so PCIe-4 throughput is bottlenecked at 25 GB/s", §7.1),
+	// so H2D and D2H share one engine. Driver-side bookkeeping (fault
+	// service, PTE work, zero-fills) is charged inline on the issuing
+	// operation's timeline: the real driver parallelizes that work across
+	// VA ranges, so a global serial resource would over-serialize.
+	dma *sim.Engine
+	// peer is the GPU-to-GPU fabric: peer migrations do not cross host
+	// DRAM, so they get their own engine.
+	peer *sim.Engine
+
+	deviceAllocBytes units.Size // non-UVM cudaMalloc'd bytes (chunks held)
+	deviceChunks     []*gpudev.Chunk
+}
+
+// New builds a driver.
+func New(cfg Config) (*Driver, error) {
+	p := DefaultParams()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	devs := []*gpudev.Device{}
+	dev, err := gpudev.NewDevice(cfg.GPU, cfg.ReservedBytes)
+	if err != nil {
+		return nil, err
+	}
+	devs = append(devs, dev)
+	for i, prof := range cfg.PeerGPUs {
+		pd, err := gpudev.NewDevice(prof, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: peer GPU %d: %w", i+1, err)
+		}
+		devs = append(devs, pd)
+	}
+	peerLink := cfg.PeerLink
+	if peerLink == nil {
+		// NVSwitch-class fabric: "the GPU-to-GPU remote access bandwidth
+		// is limited to 600 GB/s" (§2.3).
+		peerLink = pcie.NewLink(pcie.GenNVLink, 600e9, sim.Micros(4))
+	}
+	link := cfg.Link
+	if link == nil {
+		link = pcie.Preset(pcie.Gen4)
+	}
+	host := cfg.Host
+	if host == nil {
+		host = hostmem.Default()
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = metrics.New()
+	}
+	costs := cfg.Costs
+	if costs == nil {
+		costs = DefaultAPICosts()
+	}
+	return &Driver{
+		devs:     devs,
+		host:     host,
+		link:     link,
+		peerLink: peerLink,
+		space:    vaspace.NewSpace(),
+		m:        m,
+		tr:       cfg.Trace,
+		p:        p,
+		costs:    costs,
+		dma:      sim.NewEngine("dma"),
+		peer:     sim.NewEngine("peer-fabric"),
+	}, nil
+}
+
+// Device returns the primary GPU device model.
+func (d *Driver) Device() *gpudev.Device { return d.devs[0] }
+
+// DeviceAt returns the i'th GPU device model.
+func (d *Driver) DeviceAt(i int) *gpudev.Device { return d.devs[i] }
+
+// NumGPUs returns how many GPUs the driver manages.
+func (d *Driver) NumGPUs() int { return len(d.devs) }
+
+// PeerLink returns the GPU-to-GPU fabric model.
+func (d *Driver) PeerLink() *pcie.Link { return d.peerLink }
+
+// EnginePeer exposes the peer fabric engine.
+func (d *Driver) EnginePeer() *sim.Engine { return d.peer }
+
+// Host returns the host memory model.
+func (d *Driver) Host() *hostmem.Host { return d.host }
+
+// Link returns the interconnect model.
+func (d *Driver) Link() *pcie.Link { return d.link }
+
+// Space returns the unified VA space.
+func (d *Driver) Space() *vaspace.Space { return d.space }
+
+// Metrics returns the instrumentation collector.
+func (d *Driver) Metrics() *metrics.Collector { return d.m }
+
+// Trace returns the trace recorder (may be nil).
+func (d *Driver) Trace() *trace.Recorder { return d.tr }
+
+// Costs returns the API cost models.
+func (d *Driver) Costs() *APICosts { return d.costs }
+
+// Params returns the active policy parameters.
+func (d *Driver) Params() Params { return d.p }
+
+// EngineDMA exposes the shared migration engine (for utilization
+// reporting).
+func (d *Driver) EngineDMA() *sim.Engine { return d.dma }
+
+// AllocManaged reserves a unified (cudaMallocManaged) allocation. No
+// physical memory is committed; first touch populates it (§2.2).
+func (d *Driver) AllocManaged(name string, size units.Size) (*vaspace.Alloc, error) {
+	return d.space.Alloc(name, size)
+}
+
+// FreeManaged releases a managed allocation: GPU-resident chunks go to the
+// unused queue (dead data, reclaimable without transfer), host pages are
+// released, VA space is forgotten.
+func (d *Driver) FreeManaged(a *vaspace.Alloc) error {
+	if a.Freed() {
+		return fmt.Errorf("core: free of already-freed %s", a.Name())
+	}
+	for _, b := range a.Blocks() {
+		if b.Chunk != nil {
+			dev := d.devs[b.GPUIndex]
+			dev.Detach(b.Chunk)
+			b.Chunk.Owner = nil
+			dev.PushUnused(b.Chunk)
+			b.Chunk = nil
+		}
+		if b.CPUHasPages {
+			if b.CPUPinned {
+				d.host.Unpin(b.Bytes())
+			}
+			d.host.Release(b.Bytes())
+		}
+		b.Residency = vaspace.Untouched
+		b.CPUHasPages, b.CPUPinned, b.CPUStale = false, false, false
+		b.GPUMapped, b.CPUMapped = false, false
+		b.Discarded, b.LazyDiscard = false, false
+		b.LivePages = 0
+	}
+	return d.space.Free(a)
+}
+
+// MallocDevice claims chunks for a classic (non-UVM) device buffer; they
+// come out of the free queue permanently until FreeDevice. This is the
+// Listing 1 / Listing 4 programming model: it fails when the buffer does
+// not fit in the remaining GPU memory.
+func (d *Driver) MallocDevice(size units.Size) ([]*gpudev.Chunk, error) {
+	n := units.BlocksIn(size)
+	dev := d.devs[0]
+	if n > dev.QueueLen(gpudev.QueueFree) {
+		return nil, fmt.Errorf("core: cudaMalloc of %s fails: out of GPU memory (%d free chunks)",
+			units.Format(size), dev.QueueLen(gpudev.QueueFree))
+	}
+	chunks := make([]*gpudev.Chunk, n)
+	for i := range chunks {
+		c := dev.PopFree()
+		if c == nil {
+			// Roll back: should be impossible after the check above.
+			for _, cc := range chunks[:i] {
+				dev.PushFree(cc)
+			}
+			return nil, fmt.Errorf("core: free queue underflow")
+		}
+		chunks[i] = c
+	}
+	d.deviceAllocBytes += units.Size(n) * units.BlockSize
+	d.deviceChunks = append(d.deviceChunks, chunks...)
+	return chunks, nil
+}
+
+// FreeDevice returns cudaMalloc'd chunks to the free queue.
+func (d *Driver) FreeDevice(chunks []*gpudev.Chunk) {
+	for _, c := range chunks {
+		d.devs[0].PushFree(c)
+		d.deviceAllocBytes -= units.BlockSize
+		for i, dc := range d.deviceChunks {
+			if dc == c {
+				d.deviceChunks = append(d.deviceChunks[:i], d.deviceChunks[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// DeviceAllocBytes returns bytes currently held by non-UVM device buffers.
+func (d *Driver) DeviceAllocBytes() units.Size { return d.deviceAllocBytes }
+
+// ExplicitCopy times a cudaMemcpy of n bytes in the given direction (the
+// No-UVM programming model's transfers), returning the completion time.
+func (d *Driver) ExplicitCopy(dir metrics.Direction, n units.Size, now sim.Time) sim.Time {
+	if n == 0 {
+		return now
+	}
+	_, end := d.dma.Reserve(now, d.link.TransferTime(uint64(n)))
+	d.m.AddTransfer(dir, metrics.CauseMemcpy, uint64(n))
+	return end
+}
+
+// record emits a trace event if tracing is on.
+func (d *Driver) record(t sim.Time, kind trace.Kind, b *vaspace.Block, bytes units.Size) {
+	if d.tr == nil {
+		return
+	}
+	d.tr.Record(trace.Event{
+		T: t, Kind: kind, Alloc: b.Alloc.ID(), Block: b.Index, Bytes: uint64(bytes),
+	})
+}

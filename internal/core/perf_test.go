@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/vaspace"
+)
+
+// Micro-benchmarks for the driver's hot paths — these bound how fast the
+// simulator itself runs (simulated block-operations per wall-second), which
+// matters because the DL sweeps push hundreds of thousands of block ops per
+// experiment.
+
+func benchDriver(b *testing.B, blocks int) (*Driver, *vaspace.Alloc) {
+	b.Helper()
+	d, err := New(Config{GPU: gpudev.Generic(units.Size(blocks) * units.BlockSize)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.AllocManaged("bench", units.Size(blocks/2)*units.BlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, a
+}
+
+func BenchmarkDriverResidentHit(b *testing.B) {
+	d, a := benchDriver(b, 256)
+	if _, err := d.GPUAccess(a.Blocks(), Write, 0); err != nil {
+		b.Fatal(err)
+	}
+	blocks := a.Blocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.GPUAccess(blocks, Read, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blocks)*b.N)/b.Elapsed().Seconds(), "blockops/s")
+}
+
+func BenchmarkDriverMigrationPingPong(b *testing.B) {
+	d, a := benchDriver(b, 256)
+	blocks := a.Blocks()
+	d.CPUAccess(blocks, Write, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.GPUAccess(blocks, Read, 0); err != nil {
+			b.Fatal(err)
+		}
+		d.CPUAccess(blocks, Read, 0)
+	}
+	b.ReportMetric(float64(2*len(blocks)*b.N)/b.Elapsed().Seconds(), "blockops/s")
+}
+
+func BenchmarkDriverDiscardRecover(b *testing.B) {
+	d, a := benchDriver(b, 256)
+	if _, err := d.GPUAccess(a.Blocks(), Write, 0); err != nil {
+		b.Fatal(err)
+	}
+	size := uint64(a.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Discard(a, 0, size, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.PrefetchToGPU(a, 0, size, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDriverEvictionChurn(b *testing.B) {
+	// Footprint 2x capacity: every access round is all-miss with LRU
+	// evictions — the simulator's worst case.
+	d, err := New(Config{GPU: gpudev.Generic(64 * units.BlockSize)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.AllocManaged("churn", 128*units.BlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := a.Blocks()
+	d.CPUAccess(blocks, Write, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.GPUAccess(blocks, Read, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blocks)*b.N)/b.Elapsed().Seconds(), "blockops/s")
+}

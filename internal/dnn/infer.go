@@ -1,0 +1,246 @@
+package dnn
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+// gpudevProfile aliases the device profile for the stage builder.
+type gpudevProfile = gpudev.Profile
+
+// pcieLink resolves the platform's link preset.
+func pcieLink(p workloads.Platform) *pcie.Link {
+	gen := p.Gen
+	if gen == 0 {
+		gen = pcie.Gen4
+	}
+	return pcie.Preset(gen)
+}
+
+// InferConfig describes an inference-serving measurement: forward passes
+// only, over a model whose *weights* dominate memory (the large-model
+// serving regime). It exercises the interplay of the paper's discard
+// directive with the cudaMemAdvise hints:
+//
+//   - Without hints, evicting a weight block under pressure transfers it
+//     D2H even though it was never modified — NVIDIA GPUs lack per-PTE
+//     dirty bits (§5), so the driver cannot know the copy is clean.
+//   - SetReadMostly keeps a valid host copy, so weight evictions move
+//     nothing; only the re-fetch H2D remains.
+//   - Discard kills each activation buffer the moment the next layer has
+//     consumed it.
+type InferConfig struct {
+	// Model to serve. Weights are loaded once and never modified.
+	Model *ModelSpec
+	// Batch is the request batch size.
+	Batch int
+	// Requests is how many batches to serve; the first warms the cache
+	// and is excluded from throughput.
+	Requests int
+	// Discard enables activation discards.
+	Discard bool
+	// AdviseWeights applies SetReadMostly to all weights.
+	AdviseWeights bool
+	// GPUs partitions the model's layers across this many GPUs
+	// (pipeline/model parallelism for serving): each stage holds its own
+	// weights, and activations hand off over the peer fabric. Zero or one
+	// serves on a single GPU.
+	GPUs int
+}
+
+// LargeModel returns a synthetic serving model in the large-language-model
+// shape: weight-dominated layers with small activations. total is the
+// summed parameter size; layers controls granularity.
+func LargeModel(total units.Size, layers int) *ModelSpec {
+	if layers <= 0 {
+		layers = 24
+	}
+	per := total / units.Size(layers)
+	m := &ModelSpec{
+		Name:        fmt.Sprintf("served-%s", units.Format(total)),
+		SampleBytes: 64 * units.KiB,
+		LabelBytes:  4 * units.KiB,
+		Efficiency:  0.5,
+	}
+	for i := 0; i < layers; i++ {
+		m.Layers = append(m.Layers, LayerSpec{
+			Name:         fmt.Sprintf("block%d", i),
+			OutPerSample: units.MiB,
+			WeightBytes:  per,
+			// Each served token-batch streams the layer's weights once.
+			FlopsPerSample: 2 * float64(per) / 4,
+		})
+	}
+	return m
+}
+
+// Infer serves Requests forward passes and reports throughput and traffic.
+func Infer(p workloads.Platform, cfg InferConfig) (TrainResult, error) {
+	if cfg.Model == nil || cfg.Batch <= 0 {
+		return TrainResult{}, fmt.Errorf("dnn: invalid inference config %+v", cfg)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return TrainResult{}, err
+	}
+	requests := cfg.Requests
+	if requests <= 0 {
+		requests = 4
+	}
+	m := cfg.Model
+	batch := units.Size(cfg.Batch)
+	gpus := cfg.GPUs
+	if gpus <= 0 {
+		gpus = 1
+	}
+	if gpus > len(m.Layers) {
+		return TrainResult{}, fmt.Errorf("dnn: %d stages for %d layers", gpus, len(m.Layers))
+	}
+
+	// Inference footprint: single-copy weights plus double-buffered
+	// activations and the input.
+	footprint := m.TotalWeights() + batch*(m.SampleBytes+2*m.MaxOutPerSample())
+	ctx, err := p.NewContext(footprint)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	if gpus > 1 {
+		// Rebuild the context with peer GPUs (the platform only sizes the
+		// primary; pipeline stages replicate the profile).
+		reserved, rerr := p.Reservation(footprint)
+		if rerr != nil {
+			return TrainResult{}, rerr
+		}
+		peers := make([]gpudevProfile, gpus-1)
+		for i := range peers {
+			peers[i] = p.GPU
+		}
+		ctx, err = cuda.NewContext(core.Config{
+			GPU: p.GPU, PeerGPUs: peers, ReservedBytes: reserved,
+			Link: pcieLink(p),
+		})
+		if err != nil {
+			return TrainResult{}, err
+		}
+	}
+	// stageOf balances layers across stages by weight volume.
+	stageOf := make([]int, len(m.Layers))
+	if gpus > 1 {
+		perStage := m.TotalWeights() / units.Size(gpus)
+		var acc units.Size
+		stage := 0
+		for i, l := range m.Layers {
+			stageOf[i] = stage
+			acc += l.WeightBytes
+			if acc >= perStage && stage < gpus-1 {
+				acc, stage = 0, stage+1
+			}
+		}
+	}
+
+	weights := make([]*cuda.Buffer, len(m.Layers))
+	for i, l := range m.Layers {
+		if weights[i], err = ctx.MallocManaged("w-"+l.Name, l.WeightBytes); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	input, err := ctx.MallocManaged("input", batch*m.SampleBytes)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	actA, err := ctx.MallocManaged("act-a", batch*m.MaxOutPerSample())
+	if err != nil {
+		return TrainResult{}, err
+	}
+	actB, err := ctx.MallocManaged("act-b", batch*m.MaxOutPerSample())
+	if err != nil {
+		return TrainResult{}, err
+	}
+
+	stream := ctx.Stream("serve")
+
+	// Load the weights: the host materializes the checkpoint, optionally
+	// marks it read-mostly, and the first pass pulls it in.
+	for _, w := range weights {
+		if err := w.HostWrite(0, w.Size()); err != nil {
+			return TrainResult{}, err
+		}
+		if cfg.AdviseWeights {
+			if err := stream.MemAdviseAll(w, core.AdviseSetReadMostly); err != nil {
+				return TrainResult{}, err
+			}
+		}
+	}
+
+	var measureFrom sim.Time
+	for req := 0; req < requests; req++ {
+		if req == 1 {
+			ctx.DeviceSynchronize()
+			measureFrom = ctx.Elapsed()
+		}
+		if err := input.HostWrite(0, input.Size()); err != nil {
+			return TrainResult{}, err
+		}
+		if err := stream.PrefetchAll(input, cuda.ToGPU); err != nil {
+			return TrainResult{}, err
+		}
+		src, dst := actA, actB
+		for i, l := range m.Layers {
+			in := input
+			if i > 0 {
+				in = src
+			}
+			if cfg.Discard {
+				// Repurposing a previously discarded activation buffer:
+				// prefault it (§4.2).
+				if err := stream.PrefetchAll(dst, cuda.ToGPU); err != nil {
+					return TrainResult{}, err
+				}
+			}
+			err := stream.Launch(cuda.Kernel{
+				Name: "serve-" + l.Name, GPU: stageOf[i],
+				Compute: layerTime(ctx, m, l, cfg.Batch, 1),
+				Accesses: []cuda.Access{
+					{Buf: weights[i], Mode: core.Read},
+					{Buf: in, Mode: core.Read},
+					{Buf: dst, Mode: core.Write},
+				},
+			})
+			if err != nil {
+				return TrainResult{}, err
+			}
+			if cfg.Discard && i > 0 {
+				// The consumed activation is dead.
+				if err := stream.DiscardAll(src); err != nil {
+					return TrainResult{}, err
+				}
+			}
+			src, dst = dst, src
+		}
+		// The final activation is the response; it is consumed (read) by
+		// the serving layer and then dead.
+		if err := src.HostRead(0, src.Size()); err != nil {
+			return TrainResult{}, err
+		}
+		if cfg.Discard {
+			if err := stream.DiscardAll(src); err != nil {
+				return TrainResult{}, err
+			}
+		}
+	}
+	ctx.DeviceSynchronize()
+
+	res := workloads.CollectSince(workloads.UVMOpt, ctx, 0)
+	elapsed := ctx.Elapsed() - measureFrom
+	tr := TrainResult{Result: res, Footprint: footprint}
+	if measured := requests - 1; elapsed > 0 && measured > 0 {
+		tr.Throughput = float64(cfg.Batch*measured) / elapsed.Seconds()
+	}
+	return tr, nil
+}

@@ -1,0 +1,420 @@
+package dnn
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+// TrainConfig describes one training measurement.
+type TrainConfig struct {
+	// Model is the network to train.
+	Model *ModelSpec
+	// Batch is the mini-batch size; memory scales linearly with it.
+	Batch int
+	// Steps is how many mini-batches to run. The first step populates
+	// memory and is excluded from the throughput measurement, mirroring
+	// the paper's warm-up discipline (§7.5).
+	Steps int
+	// Recompute enables activation recomputation (gradient
+	// checkpointing): backward stashes are not stored; each layer's
+	// backward re-runs its forward into a shared scratch buffer. This
+	// trades ~1.6x compute for a much smaller footprint — the §8
+	// alternative that "does not ultimately avoid RMTs" once even the
+	// reduced footprint oversubscribes.
+	Recompute bool
+}
+
+// DefaultSteps is the mini-batch count used when TrainConfig.Steps is zero.
+const DefaultSteps = 5
+
+// TrainResult couples the generic workload result with throughput.
+type TrainResult struct {
+	workloads.Result
+	// Throughput is training speed in samples (images) per second over
+	// the measured (post-warm-up) steps.
+	Throughput float64
+	// Footprint is the CUDA allocation footprint of the run.
+	Footprint units.Size
+}
+
+// Train runs the configured training under a system and platform.
+//
+// The per-step program follows Listing 6 (with the discard lines dropped
+// for UVM-opt, and explicit buffers with memcpy for No-UVM per Listing 4):
+// generate and prefetch the batch, forward through every layer writing its
+// activation buffer (each layer's cuDNN workspace dies right after the
+// layer), then backward from the last layer — each backward step consumes
+// the downstream activation (dead afterwards) and produces gradients that
+// the weight update consumes (dead afterwards).
+//
+// All DL discards are paired with the prefetch that repurposes the buffer
+// on its next use, so UvmDiscardLazy replaces every one of them (§7.5).
+func Train(p workloads.Platform, sys workloads.System, cfg TrainConfig) (TrainResult, error) {
+	if cfg.Model == nil || cfg.Batch <= 0 {
+		return TrainResult{}, fmt.Errorf("dnn: invalid config %+v", cfg)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return TrainResult{}, err
+	}
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = DefaultSteps
+	}
+	if sys == workloads.PyTorchLMS {
+		return TrainResult{}, fmt.Errorf("dnn: PyTorch-LMS training lives in internal/lms")
+	}
+	footprint := cfg.Model.FootprintBytes(cfg.Batch)
+	if cfg.Recompute {
+		footprint = cfg.Model.RecomputeFootprintBytes(cfg.Batch)
+	}
+	ctx, err := p.NewContext(footprint)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	if sys == workloads.NoUVM {
+		return trainNoUVM(ctx, cfg, steps, footprint)
+	}
+	return trainUVM(ctx, sys, cfg, steps, footprint)
+}
+
+// trainUVM implements Listing 6 (UvmDiscard / UvmDiscardLazy) and its
+// discard-free variant (UVM-opt).
+func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps int, footprint units.Size) (TrainResult, error) {
+	m := cfg.Model
+	batch := units.Size(cfg.Batch)
+
+	alloc := func(name string, n units.Size) (*cuda.Buffer, error) {
+		return ctx.MallocManaged(name, n)
+	}
+	data, err := alloc("data", batch*m.SampleBytes)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	labels, err := alloc("labels", batch*m.LabelBytes)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	grad, err := alloc("gradients", batch*m.MaxOutPerSample())
+	if err != nil {
+		return TrainResult{}, err
+	}
+	outputs := make([]*cuda.Buffer, len(m.Layers))
+	stashes := make([]*cuda.Buffer, len(m.Layers))
+	weights := make([]*cuda.Buffer, len(m.Layers))
+	workspaces := make([]*cuda.Buffer, len(m.Layers))
+	var recomputeBuf *cuda.Buffer
+	if cfg.Recompute {
+		// One shared scratch holds the recomputed intermediates of the
+		// layer currently running backward.
+		size := batch * m.MaxStashPerSample(cfg.Batch)
+		if size < units.PageSize {
+			size = units.PageSize
+		}
+		if recomputeBuf, err = alloc("recompute", size); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	for i, l := range m.Layers {
+		if outputs[i], err = alloc("out-"+l.Name, batch*l.OutPerSample); err != nil {
+			return TrainResult{}, err
+		}
+		if cfg.Recompute {
+			stashes[i] = recomputeBuf
+		} else {
+			// Tensors the forward pass saves for this layer's backward
+			// pass (the library's algorithm choice may inflate them,
+			// Figure 5).
+			stash := batch * m.StashBytes(l, cfg.Batch)
+			if stash < units.PageSize {
+				stash = units.PageSize
+			}
+			if stashes[i], err = alloc("stash-"+l.Name, stash); err != nil {
+				return TrainResult{}, err
+			}
+		}
+		// Weights + weight gradients + optimizer state.
+		if weights[i], err = alloc("w-"+l.Name, 3*l.WeightBytes); err != nil {
+			return TrainResult{}, err
+		}
+		// cuDNN scratch: dead right after each kernel that uses it.
+		ws := l.WorkspaceFixed
+		if ws < units.PageSize {
+			ws = units.PageSize
+		}
+		if workspaces[i], err = alloc("ws-"+l.Name, ws); err != nil {
+			return TrainResult{}, err
+		}
+	}
+
+	copyStream := ctx.Stream("copy")
+	computeStream := ctx.Stream("compute")
+
+	// Initialize weights on the GPU (first touch maps zeroed chunks; a
+	// short init kernel writes them).
+	for i, l := range m.Layers {
+		err := computeStream.Launch(cuda.Kernel{
+			Name:     "init-" + l.Name,
+			Compute:  ctx.ComputeForBytes(float64(3 * l.WeightBytes)),
+			Accesses: []cuda.Access{{Buf: weights[i], Mode: core.Write}},
+		})
+		if err != nil {
+			return TrainResult{}, err
+		}
+	}
+
+	discard := func(b *cuda.Buffer) error {
+		return workloads.Discard(sys, computeStream, b)
+	}
+	// prefetch pulls a buffer in on the copy stream and orders the
+	// compute stream after it — the overlap the "-opt" baseline uses.
+	prefetch := func(b *cuda.Buffer) error {
+		if err := copyStream.PrefetchAll(b, cuda.ToGPU); err != nil {
+			return err
+		}
+		ev := ctx.NewEvent()
+		copyStream.RecordEvent(ev)
+		computeStream.WaitEvent(ev)
+		return nil
+	}
+	// Discards apply at computeStream order; the repurposing prefetch on
+	// the copy stream must not be issued before the discard is — order
+	// the copy stream behind the discard.
+	orderCopyAfterCompute := func() {
+		ev := ctx.NewEvent()
+		computeStream.RecordEvent(ev)
+		copyStream.WaitEvent(ev)
+	}
+
+	var measureFrom sim.Time
+	for step := 0; step < steps; step++ {
+		if step == 1 {
+			ctx.DeviceSynchronize()
+			measureFrom = ctx.Elapsed()
+		}
+		// Generate and stage the batch.
+		if err := data.HostWrite(0, data.Size()); err != nil {
+			return TrainResult{}, err
+		}
+		if err := labels.HostWrite(0, labels.Size()); err != nil {
+			return TrainResult{}, err
+		}
+		if err := prefetch(data); err != nil {
+			return TrainResult{}, err
+		}
+		if err := prefetch(labels); err != nil {
+			return TrainResult{}, err
+		}
+
+		// Forward.
+		for i, l := range m.Layers {
+			in := data
+			if i > 0 {
+				in = outputs[i-1]
+			}
+			if err := prefetch(outputs[i]); err != nil {
+				return TrainResult{}, err
+			}
+			if !cfg.Recompute {
+				if err := prefetch(stashes[i]); err != nil {
+					return TrainResult{}, err
+				}
+			}
+			if err := prefetch(workspaces[i]); err != nil {
+				return TrainResult{}, err
+			}
+			accesses := []cuda.Access{
+				{Buf: in, Mode: core.Read},
+				{Buf: weights[i], Mode: core.Read},
+				{Buf: workspaces[i], Mode: core.ReadWrite},
+				{Buf: outputs[i], Mode: core.Write},
+			}
+			if !cfg.Recompute {
+				accesses = append(accesses, cuda.Access{Buf: stashes[i], Mode: core.Write})
+			}
+			err := computeStream.Launch(cuda.Kernel{
+				Name:     "fwd-" + l.Name,
+				Compute:  layerTime(ctx, m, l, cfg.Batch, 1),
+				Accesses: accesses,
+			})
+			if err != nil {
+				return TrainResult{}, err
+			}
+			// The cuDNN scratch dies with the layer (§7.5: "intermediate
+			// buffers used by the CUDNN library can be discarded").
+			if err := discard(workspaces[i]); err != nil {
+				return TrainResult{}, err
+			}
+			orderCopyAfterCompute()
+		}
+
+		// Backward: layer i consumes outputs[i+1] (the loss/labels for the
+		// last layer), outputs[i], weights; produces the shared gradient
+		// buffer; the update consumes it (Listing 6).
+		for i := len(m.Layers) - 1; i >= 0; i-- {
+			l := m.Layers[i]
+			down := labels
+			if i < len(m.Layers)-1 {
+				down = outputs[i+1]
+			}
+			if err := prefetch(grad); err != nil {
+				return TrainResult{}, err
+			}
+			// Bring the activations and stash saved by the forward pass
+			// back in ahead of the kernel (Listing 6's backward prefetch).
+			if err := prefetch(outputs[i]); err != nil {
+				return TrainResult{}, err
+			}
+			if cfg.Recompute {
+				// Re-run this layer's forward to regenerate the
+				// intermediates the backward needs — the recomputation
+				// cost gradient checkpointing pays.
+				in := data
+				if i > 0 {
+					in = outputs[i-1]
+				}
+				if err := prefetch(stashes[i]); err != nil {
+					return TrainResult{}, err
+				}
+				err := computeStream.Launch(cuda.Kernel{
+					Name:    "refwd-" + l.Name,
+					Compute: layerTime(ctx, m, l, cfg.Batch, 1),
+					Accesses: []cuda.Access{
+						{Buf: in, Mode: core.Read},
+						{Buf: weights[i], Mode: core.Read},
+						{Buf: stashes[i], Mode: core.Write},
+					},
+				})
+				if err != nil {
+					return TrainResult{}, err
+				}
+			} else if err := prefetch(stashes[i]); err != nil {
+				return TrainResult{}, err
+			}
+			if err := prefetch(workspaces[i]); err != nil {
+				return TrainResult{}, err
+			}
+			err := computeStream.Launch(cuda.Kernel{
+				Name:    "bwd-" + l.Name,
+				Compute: layerTime(ctx, m, l, cfg.Batch, 2),
+				Accesses: []cuda.Access{
+					{Buf: down, Mode: core.Read},
+					{Buf: outputs[i], Mode: core.Read},
+					{Buf: stashes[i], Mode: core.Read},
+					{Buf: weights[i], Mode: core.Read},
+					{Buf: workspaces[i], Mode: core.ReadWrite},
+					{Buf: grad, Mode: core.Write},
+				},
+			})
+			if err != nil {
+				return TrainResult{}, err
+			}
+			// outputs[i+1] now holds useless data (Listing 6), and this
+			// layer's stash has served its purpose.
+			if i < len(m.Layers)-1 {
+				if err := discard(outputs[i+1]); err != nil {
+					return TrainResult{}, err
+				}
+			}
+			if err := discard(stashes[i]); err != nil {
+				return TrainResult{}, err
+			}
+			if err := discard(workspaces[i]); err != nil {
+				return TrainResult{}, err
+			}
+			err = computeStream.Launch(cuda.Kernel{
+				Name:    "upd-" + l.Name,
+				Compute: ctx.ComputeForBytes(float64(3 * l.WeightBytes)),
+				Accesses: []cuda.Access{
+					{Buf: grad, Mode: core.Read},
+					{Buf: weights[i], Mode: core.ReadWrite},
+				},
+			})
+			if err != nil {
+				return TrainResult{}, err
+			}
+			// gradients now hold useless data (Listing 6).
+			if err := discard(grad); err != nil {
+				return TrainResult{}, err
+			}
+			orderCopyAfterCompute()
+		}
+	}
+	ctx.DeviceSynchronize()
+
+	res := workloads.CollectSince(sys, ctx, 0)
+	elapsed := ctx.Elapsed() - measureFrom
+	measured := steps - 1
+	tr := TrainResult{Result: res, Footprint: footprint}
+	if elapsed > 0 && measured > 0 {
+		tr.Throughput = float64(cfg.Batch*measured) / elapsed.Seconds()
+	}
+	return tr, nil
+}
+
+// trainNoUVM implements Listing 4: explicit device buffers sized for the
+// whole model (it fails when the footprint exceeds GPU memory) and explicit
+// input memcpys. Kernels never fault, and there is no per-layer prefetch
+// bookkeeping — which is why No-UVM edges out UVM-opt when everything fits
+// (Figures 6, 7).
+func trainNoUVM(ctx *cuda.Context, cfg TrainConfig, steps int, footprint units.Size) (TrainResult, error) {
+	m := cfg.Model
+	dev, err := ctx.Malloc(footprint)
+	if err != nil {
+		return TrainResult{}, fmt.Errorf("dnn: No-UVM cannot train %s at batch %d: %w",
+			m.Name, cfg.Batch, err)
+	}
+	defer dev.Free()
+
+	stream := ctx.Stream("main")
+	inputBytes := units.Size(cfg.Batch) * (m.SampleBytes + m.LabelBytes)
+	var measureFrom sim.Time
+	for step := 0; step < steps; step++ {
+		if step == 1 {
+			ctx.DeviceSynchronize()
+			measureFrom = ctx.Elapsed()
+		}
+		stream.MemcpyHostToDevice(inputBytes)
+		for _, l := range m.Layers {
+			err := stream.Launch(cuda.Kernel{
+				Name:    "fwd-" + l.Name,
+				Compute: layerTime(ctx, m, l, cfg.Batch, 1),
+			})
+			if err != nil {
+				return TrainResult{}, err
+			}
+		}
+		for i := len(m.Layers) - 1; i >= 0; i-- {
+			l := m.Layers[i]
+			err := stream.Launch(cuda.Kernel{
+				Name:    "bwd-" + l.Name,
+				Compute: layerTime(ctx, m, l, cfg.Batch, 2) + ctx.ComputeForBytes(float64(3*l.WeightBytes)),
+			})
+			if err != nil {
+				return TrainResult{}, err
+			}
+		}
+	}
+	ctx.DeviceSynchronize()
+	res := workloads.CollectSince(workloads.NoUVM, ctx, 0)
+	elapsed := ctx.Elapsed() - measureFrom
+	tr := TrainResult{Result: res, Footprint: footprint}
+	if measured := steps - 1; elapsed > 0 && measured > 0 {
+		tr.Throughput = float64(cfg.Batch*measured) / elapsed.Seconds()
+	}
+	return tr, nil
+}
+
+// layerTime converts a layer's FLOP count at a batch size into kernel time
+// on the context's GPU, scaled by the model's achieved efficiency. dir is 1
+// for forward, 2 for backward (which costs roughly twice the forward).
+func layerTime(ctx *cuda.Context, m *ModelSpec, l LayerSpec, batch int, dir float64) sim.Time {
+	flops := l.FlopsPerSample * float64(batch) * dir
+	eff := m.Efficiency
+	tflops := ctx.Driver().Device().Profile().ComputeTFLOPS * eff
+	return sim.Time(flops / (tflops * 1e12) * float64(sim.Second))
+}

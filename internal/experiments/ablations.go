@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/metrics"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+	"uvmdiscard/internal/workloads/fir"
+	"uvmdiscard/internal/workloads/radixsort"
+)
+
+func init() {
+	register(Experiment{ID: "A1", Name: "ablation-eviction-order", Run: runAblationEvictionOrder})
+	register(Experiment{ID: "A2", Name: "ablation-immediate-reclaim", Run: runAblationImmediateReclaim})
+	register(Experiment{ID: "A3", Name: "ablation-prepared-tracking", Run: runAblationPreparedTracking})
+	register(Experiment{ID: "A4", Name: "ablation-partial-discard", Run: runAblationPartialDiscard})
+}
+
+// runAblationEvictionOrder varies §5.5's eviction queue priority on FIR at
+// 300% oversubscription with UvmDiscard. Putting the discarded queue after
+// the LRU queue makes the eviction process swap live data out while free
+// discarded chunks sit idle — traffic rises toward the no-discard level.
+func runAblationEvictionOrder(o Options) (*Table, error) {
+	cfg := fir.DefaultConfig()
+	gpu := gpudev.RTX3080Ti()
+	if o.Quick {
+		cfg.InputBytes = 512 * units.MiB
+		cfg.WindowBytes = 64 * units.MiB
+		gpu = gpudev.Generic(1536 * units.MiB)
+	}
+	orders := []struct {
+		name  string
+		order []metrics.EvictSource
+	}{
+		{"unused,discarded,lru (paper)", []metrics.EvictSource{metrics.EvictUnused, metrics.EvictDiscarded, metrics.EvictLRU}},
+		{"discarded,unused,lru", []metrics.EvictSource{metrics.EvictDiscarded, metrics.EvictUnused, metrics.EvictLRU}},
+		{"lru,unused,discarded", []metrics.EvictSource{metrics.EvictLRU, metrics.EvictUnused, metrics.EvictDiscarded}},
+	}
+	t := &Table{
+		ID:     "A1",
+		Title:  "Ablation: eviction queue priority (FIR @300%, UvmDiscard)",
+		Header: []string{"Order", "Traffic GB", "Runtime", "LRU evictions", "Discarded reclaims"},
+	}
+	for _, spec := range orders {
+		params := core.DefaultParams()
+		params.EvictionOrder = spec.order
+		p := workloads.Platform{GPU: gpu, OversubPercent: 300, Params: &params}
+		r, err := fir.Run(p, workloads.UvmDiscard, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Re-derive queue stats from a dedicated run with a shared
+		// collector is overkill; saved counters tell the story.
+		t.AddRow(spec.name, fmtGB(r.TrafficBytes), r.Runtime.String(),
+			fmtGB(r.EvictD2H), fmtGB(r.SavedD2H))
+	}
+	t.Notes = append(t.Notes,
+		"columns 4-5 are eviction D2H bytes vs transfer bytes saved by reclaiming discarded chunks")
+	return t, nil
+}
+
+// runAblationImmediateReclaim compares §5.6's delayed physical reclamation
+// against reclaiming at discard time, on radix-sort when everything fits:
+// delayed reclamation lets re-accessed buffers recover their chunks without
+// re-zeroing or re-populating.
+func runAblationImmediateReclaim(o Options) (*Table, error) {
+	cfg := radixsort.DefaultConfig()
+	gpu := gpudev.RTX3080Ti()
+	if o.Quick {
+		cfg.DataBytes = 256 * units.MiB
+		cfg.StripBytes = 32 * units.MiB
+		gpu = gpudev.Generic(768 * units.MiB)
+	}
+	t := &Table{
+		ID:     "A2",
+		Title:  "Ablation: delayed vs immediate reclamation (Radix-sort @<100%, UvmDiscard)",
+		Header: []string{"Policy", "Runtime", "Traffic GB"},
+	}
+	for _, spec := range []struct {
+		name      string
+		immediate bool
+	}{
+		{"delayed (paper, §5.6)", false},
+		{"immediate", true},
+	} {
+		params := core.DefaultParams()
+		params.ImmediateReclaim = spec.immediate
+		p := workloads.Platform{GPU: gpu, OversubPercent: 0, Params: &params}
+		r, err := radixsort.Run(p, workloads.UvmDiscard, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.name, r.Runtime.String(), fmtGB(r.TrafficBytes))
+	}
+	t.Notes = append(t.Notes,
+		"immediate reclamation forfeits §5.7 recovery: every re-use re-zeroes a fresh chunk")
+	return t, nil
+}
+
+// runAblationPreparedTracking measures §5.7's prepared-chunk tracking with
+// a driver-level micro-benchmark: N discard/re-access cycles over a
+// resident buffer. Without the tracking structure every recovery
+// conservatively re-zeroes the whole 2 MiB chunk.
+func runAblationPreparedTracking(o Options) (*Table, error) {
+	blocks := 512
+	cycles := 20
+	if o.Quick {
+		blocks, cycles = 64, 5
+	}
+	t := &Table{
+		ID:     "A3",
+		Title:  "Ablation: prepared-chunk tracking (discard/recover cycles)",
+		Header: []string{"Tracking", "Zero-fill blocks", "Cycle time"},
+	}
+	for _, spec := range []struct {
+		name     string
+		tracking bool
+	}{
+		{"enabled (paper, §5.7)", true},
+		{"disabled", false},
+	} {
+		params := core.DefaultParams()
+		params.PreparedTracking = spec.tracking
+		ctx, err := cuda.NewContext(core.Config{
+			GPU:    gpudev.Generic(units.Size(blocks+8) * units.BlockSize),
+			Params: &params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf, err := ctx.MallocManaged("a3", units.Size(blocks)*units.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		s := ctx.Stream("s")
+		if err := s.Launch(cuda.Kernel{Name: "touch",
+			Accesses: []cuda.Access{{Buf: buf, Mode: core.Write}}}); err != nil {
+			return nil, err
+		}
+		start := ctx.Elapsed()
+		for i := 0; i < cycles; i++ {
+			if err := s.DiscardAll(buf); err != nil {
+				return nil, err
+			}
+			if err := s.PrefetchAll(buf, cuda.ToGPU); err != nil {
+				return nil, err
+			}
+		}
+		ctx.DeviceSynchronize()
+		zb, _ := ctx.Metrics().ZeroFills()
+		cycleTime := (ctx.Elapsed() - start) / sim.Time(cycles)
+		t.AddRow(spec.name, fmt.Sprintf("%d", zb), cycleTime.String())
+	}
+	return t, nil
+}
+
+// runAblationPartialDiscard measures §5.4's granularity rule: discarding
+// half of every 2 MiB block. The paper's driver ignores the partial
+// request; the ablation splits the mapping, after which the live halves
+// migrate as 4 KiB DMA operations whose cost outweighs the saved bytes.
+func runAblationPartialDiscard(o Options) (*Table, error) {
+	blocks := 256
+	if o.Quick {
+		blocks = 48
+	}
+	t := &Table{
+		ID:     "A4",
+		Title:  "Ablation: partial (sub-2MiB) discards",
+		Header: []string{"Policy", "Eviction GB", "Eviction time", "Per-byte cost vs whole-block"},
+	}
+	for _, spec := range []struct {
+		name  string
+		allow bool
+	}{
+		{"ignore partial (paper, §5.4)", false},
+		{"split blocks", true},
+	} {
+		params := core.DefaultParams()
+		params.AllowPartialDiscard = spec.allow
+		ctx, err := cuda.NewContext(core.Config{
+			GPU:    gpudev.Generic(units.Size(blocks+4) * units.BlockSize),
+			Params: &params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf, err := ctx.MallocManaged("a4", units.Size(blocks)*units.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		s := ctx.Stream("s")
+		if err := s.Launch(cuda.Kernel{Name: "touch",
+			Accesses: []cuda.Access{{Buf: buf, Mode: core.Write}}}); err != nil {
+			return nil, err
+		}
+		// Discard the first half of every block.
+		for i := 0; i < blocks; i++ {
+			off := units.Size(i) * units.BlockSize
+			if err := s.DiscardAsync(buf, off, units.BlockSize/2); err != nil {
+				return nil, err
+			}
+		}
+		// Force eviction of the whole buffer by allocating past capacity.
+		pressure, err := ctx.MallocManaged("pressure", units.Size(blocks+3)*units.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		start := ctx.Elapsed()
+		if err := s.Launch(cuda.Kernel{Name: "pressure",
+			Accesses: []cuda.Access{{Buf: pressure, Mode: core.Write}}}); err != nil {
+			return nil, err
+		}
+		ctx.DeviceSynchronize()
+		evictBytes := ctx.Metrics().Bytes(metrics.D2H, metrics.CauseEviction)
+		evictTime := ctx.Elapsed() - start
+		perByte := "1.00x"
+		if evictBytes > 0 {
+			full := ctx.Driver().Link().TransferTime(uint64(units.BlockSize))
+			wholeRate := float64(units.BlockSize) / full.Seconds()
+			rate := float64(evictBytes) / evictTime.Seconds()
+			perByte = fmt.Sprintf("%.1fx slower", wholeRate/rate)
+		}
+		t.AddRow(spec.name, fmtGB(evictBytes), evictTime.String(), perByte)
+	}
+	t.Notes = append(t.Notes,
+		"splitting halves the evicted bytes but pays per-4KiB DMA latency on the live remainder")
+	return t, nil
+}
+
+func init() {
+	register(Experiment{ID: "A5", Name: "ablation-fault-batch", Run: runAblationFaultBatch})
+}
+
+// runAblationFaultBatch varies the driver's replayable-fault batch size on
+// the fault-driven radix-sort at 200% oversubscription. Small batches pay
+// the fault-service latency per block; large batches amortize it — the
+// batching the real driver performs when the GPU reports faults (§2.2).
+func runAblationFaultBatch(o Options) (*Table, error) {
+	cfg := radixsort.DefaultConfig()
+	gpu := gpudev.RTX3080Ti()
+	if o.Quick {
+		cfg.DataBytes = 256 * units.MiB
+		cfg.StripBytes = 32 * units.MiB
+		gpu = gpudev.Generic(768 * units.MiB)
+	}
+	t := &Table{
+		ID:     "A5",
+		Title:  "Ablation: fault-service batch size (Radix-sort @200%, UVM-opt)",
+		Header: []string{"Batch blocks", "Runtime", "Traffic GB"},
+	}
+	for _, batch := range []int{1, 4, 16, 64} {
+		params := core.DefaultParams()
+		params.FaultBatchBlocks = batch
+		p := workloads.Platform{GPU: gpu, OversubPercent: 200, Params: &params}
+		r, err := radixsort.Run(p, workloads.UVMOpt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", batch), r.Runtime.String(), fmtGB(r.TrafficBytes))
+	}
+	t.Notes = append(t.Notes,
+		"traffic is identical by construction; the batch size only changes fault-service time")
+	return t, nil
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestFullRunAll executes every experiment at the paper's full problem
+// sizes — the same path cmd/paperbench drives. It is the suite's heaviest
+// test (a few seconds); -short skips it.
+func TestFullRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale reproduction skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			t.Log("\n" + tbl.String())
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package gpudev
+
+import "fmt"
+
+// QueueKind identifies which of the driver's physical page queues a chunk is
+// on (§5.5).
+type QueueKind int
+
+const (
+	// QueueNone means the chunk is not tracked by the device (never the
+	// case for chunks owned by a Device).
+	QueueNone QueueKind = iota
+	// QueueFree holds chunks readily available for allocation.
+	QueueFree
+	// QueueUnused is a FIFO of leftover chunks from the eviction process;
+	// they hold no useful data and can be reclaimed without a transfer.
+	QueueUnused
+	// QueueUsed is the pseudo-LRU queue of chunks in active use. Eviction
+	// from here swaps the contents out to the CPU (a D2H transfer).
+	QueueUsed
+	// QueueDiscarded is the FIFO added by the paper: chunks whose contents
+	// were discarded. Reclaimable without a transfer; FIFO order maximizes
+	// the window for cheap recovery on re-access (§5.5).
+	QueueDiscarded
+	// QueueReserved holds chunks pinned by the oversubscription knob
+	// (modeling the paper's idle GPU-memory-occupying program).
+	QueueReserved
+)
+
+// String returns a short queue name.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueNone:
+		return "none"
+	case QueueFree:
+		return "free"
+	case QueueUnused:
+		return "unused"
+	case QueueUsed:
+		return "used"
+	case QueueDiscarded:
+		return "discarded"
+	case QueueReserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+// Chunk is one 2 MiB GPU physical page. Chunks are owned by a Device and
+// live on exactly one queue at all times.
+type Chunk struct {
+	id    int
+	queue QueueKind
+	prev  *Chunk
+	next  *Chunk
+
+	// Owner is an opaque back-pointer set by the driver to the virtual
+	// block currently mapped to this chunk (nil when unowned). The device
+	// never interprets it; it exists so eviction can find the victim's
+	// virtual state without an O(n) search.
+	Owner any
+
+	// PreparedPages counts how many of the chunk's 512 4 KiB pages have
+	// been zeroed or migrated into since allocation (§5.7). A chunk is
+	// "fully prepared" when PreparedPages == units.PagesPerBlock.
+	PreparedPages int
+
+	// NeedsUnmapOnReclaim marks a lazily-discarded chunk whose GPU
+	// mappings still exist; reclaiming it must pay the unmap cost that
+	// UvmDiscard would have paid eagerly (§5.6).
+	NeedsUnmapOnReclaim bool
+}
+
+// ID returns the chunk's index within its device.
+func (c *Chunk) ID() int { return c.id }
+
+// Queue returns the queue the chunk currently occupies.
+func (c *Chunk) Queue() QueueKind { return c.queue }
+
+// chunkList is an intrusive doubly-linked list of chunks. The head is the
+// next element to pop; pushes go to the tail. For the used queue this makes
+// the head the LRU side and the tail the MRU side.
+type chunkList struct {
+	head, tail *Chunk
+	size       int
+}
+
+func (l *chunkList) pushTail(c *Chunk) {
+	c.prev, c.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = c
+	} else {
+		l.head = c
+	}
+	l.tail = c
+	l.size++
+}
+
+func (l *chunkList) remove(c *Chunk) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		l.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else {
+		l.tail = c.prev
+	}
+	c.prev, c.next = nil, nil
+	l.size--
+}
+
+func (l *chunkList) popHead() *Chunk {
+	c := l.head
+	if c == nil {
+		return nil
+	}
+	l.remove(c)
+	return c
+}
+
+// forEach visits chunks from head (next-to-pop / LRU) to tail.
+func (l *chunkList) forEach(fn func(*Chunk) bool) {
+	for c := l.head; c != nil; {
+		next := c.next // fn may move c to another list
+		if !fn(c) {
+			return
+		}
+		c = next
+	}
+}

@@ -1,0 +1,206 @@
+package gpudev
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/units"
+)
+
+// Device is the physical-memory side of one GPU: a fixed pool of 2 MiB
+// chunks distributed across the driver's page queues. The device is purely
+// mechanical — *which* chunk moves *where* and *when* is decided by the UVM
+// driver in internal/core; the device enforces the queue invariants.
+type Device struct {
+	profile   Profile
+	chunks    []Chunk
+	free      chunkList
+	unused    chunkList
+	used      chunkList // head = LRU, tail = MRU
+	discarded chunkList
+	reserved  chunkList
+}
+
+// NewDevice builds a device from a profile, with reservedBytes of capacity
+// pinned away to model an idle co-resident program (the paper's mechanism
+// for forcing oversubscription ratios, §7.1). reservedBytes is rounded up to
+// whole chunks and must leave at least one chunk available.
+func NewDevice(profile Profile, reservedBytes units.Size) (*Device, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	total := int(profile.MemoryBytes / units.BlockSize)
+	res := units.BlocksIn(reservedBytes)
+	if res >= total {
+		return nil, fmt.Errorf("gpudev: reservation %s leaves no usable memory on %s (%d chunks)",
+			units.Format(reservedBytes), profile.Name, total)
+	}
+	d := &Device{profile: profile, chunks: make([]Chunk, total)}
+	for i := range d.chunks {
+		d.chunks[i].id = i
+		if i < res {
+			d.chunks[i].queue = QueueReserved
+			d.reserved.pushTail(&d.chunks[i])
+		} else {
+			d.chunks[i].queue = QueueFree
+			d.free.pushTail(&d.chunks[i])
+		}
+	}
+	return d, nil
+}
+
+// Profile returns the device's hardware profile.
+func (d *Device) Profile() *Profile { return &d.profile }
+
+// TotalChunks returns the number of chunks the device manages, including
+// reserved ones.
+func (d *Device) TotalChunks() int { return len(d.chunks) }
+
+// UsableChunks returns the chunks available to the application (total minus
+// reserved).
+func (d *Device) UsableChunks() int { return len(d.chunks) - d.reserved.size }
+
+// UsableBytes returns the application-visible capacity in bytes.
+func (d *Device) UsableBytes() units.Size {
+	return units.Size(d.UsableChunks()) * units.BlockSize
+}
+
+// QueueLen returns the current length of a queue.
+func (d *Device) QueueLen(k QueueKind) int {
+	switch k {
+	case QueueFree:
+		return d.free.size
+	case QueueUnused:
+		return d.unused.size
+	case QueueUsed:
+		return d.used.size
+	case QueueDiscarded:
+		return d.discarded.size
+	case QueueReserved:
+		return d.reserved.size
+	default:
+		return 0
+	}
+}
+
+// PopFree removes and returns a chunk from the free queue, or nil if empty.
+func (d *Device) PopFree() *Chunk { return d.popFrom(&d.free) }
+
+// PopUnused removes and returns the oldest chunk on the unused FIFO, or nil.
+func (d *Device) PopUnused() *Chunk { return d.popFrom(&d.unused) }
+
+// PopDiscarded removes and returns the oldest chunk on the discarded FIFO,
+// or nil. FIFO order maximizes each discarded chunk's residence time so
+// re-accesses can recover it cheaply (§5.5).
+func (d *Device) PopDiscarded() *Chunk { return d.popFrom(&d.discarded) }
+
+// LRUVictim returns (without removing) the least-recently-used chunk on the
+// used queue, or nil if the queue is empty.
+func (d *Device) LRUVictim() *Chunk { return d.used.head }
+
+func (d *Device) popFrom(l *chunkList) *Chunk {
+	c := l.popHead()
+	if c != nil {
+		c.queue = QueueNone
+	}
+	return c
+}
+
+// Detach removes a chunk from whatever queue it is on, leaving it owned by
+// the caller (queue = none). Used when the driver reclaims a specific chunk
+// (e.g. the LRU victim, or recovery of a discarded chunk on re-access).
+func (d *Device) Detach(c *Chunk) {
+	switch c.queue {
+	case QueueFree:
+		d.free.remove(c)
+	case QueueUnused:
+		d.unused.remove(c)
+	case QueueUsed:
+		d.used.remove(c)
+	case QueueDiscarded:
+		d.discarded.remove(c)
+	case QueueReserved:
+		d.reserved.remove(c)
+	case QueueNone:
+		panic("gpudev: detaching chunk that is already detached")
+	}
+	c.queue = QueueNone
+}
+
+// PushUsed places a detached chunk at the MRU end of the used queue.
+func (d *Device) PushUsed(c *Chunk) { d.pushTo(&d.used, c, QueueUsed) }
+
+// PushUnused places a detached chunk on the unused FIFO.
+func (d *Device) PushUnused(c *Chunk) { d.pushTo(&d.unused, c, QueueUnused) }
+
+// PushDiscarded places a detached chunk on the discarded FIFO.
+func (d *Device) PushDiscarded(c *Chunk) { d.pushTo(&d.discarded, c, QueueDiscarded) }
+
+// PushFree returns a detached chunk to the free queue, clearing per-use
+// state: a freed chunk has no owner, no preparedness, no pending unmap.
+func (d *Device) PushFree(c *Chunk) {
+	c.Owner = nil
+	c.PreparedPages = 0
+	c.NeedsUnmapOnReclaim = false
+	d.pushTo(&d.free, c, QueueFree)
+}
+
+func (d *Device) pushTo(l *chunkList, c *Chunk, k QueueKind) {
+	if c.queue != QueueNone {
+		panic(fmt.Sprintf("gpudev: pushing chunk %d to %v while still on %v", c.id, k, c.queue))
+	}
+	c.queue = k
+	l.pushTail(c)
+}
+
+// Touch records a use of a chunk on the used queue, moving it to the MRU
+// end. Touching a chunk on any other queue is a driver bug.
+func (d *Device) Touch(c *Chunk) {
+	if c.queue != QueueUsed {
+		panic(fmt.Sprintf("gpudev: touch of chunk %d on queue %v", c.id, c.queue))
+	}
+	d.used.remove(c)
+	c.queue = QueueNone
+	d.PushUsed(c)
+}
+
+// EachUsed visits used-queue chunks from LRU to MRU; fn returning false
+// stops the walk.
+func (d *Device) EachUsed(fn func(*Chunk) bool) { d.used.forEach(fn) }
+
+// EachDiscarded visits discarded-queue chunks in FIFO order.
+func (d *Device) EachDiscarded(fn func(*Chunk) bool) { d.discarded.forEach(fn) }
+
+// CheckInvariants verifies that every chunk is on exactly the queue its
+// state claims and that queue sizes add up. It is called from tests and is
+// cheap enough to sprinkle into long simulations when debugging.
+func (d *Device) CheckInvariants() error {
+	sum := d.free.size + d.unused.size + d.used.size + d.discarded.size + d.reserved.size
+	detached := 0
+	for i := range d.chunks {
+		if d.chunks[i].queue == QueueNone {
+			detached++
+		}
+	}
+	if sum+detached != len(d.chunks) {
+		return fmt.Errorf("gpudev: queue sizes %d + detached %d != total %d", sum, detached, len(d.chunks))
+	}
+	for _, q := range []struct {
+		l *chunkList
+		k QueueKind
+	}{
+		{&d.free, QueueFree}, {&d.unused, QueueUnused}, {&d.used, QueueUsed},
+		{&d.discarded, QueueDiscarded}, {&d.reserved, QueueReserved},
+	} {
+		n := 0
+		for c := q.l.head; c != nil; c = c.next {
+			if c.queue != q.k {
+				return fmt.Errorf("gpudev: chunk %d on %v list claims queue %v", c.id, q.k, c.queue)
+			}
+			n++
+		}
+		if n != q.l.size {
+			return fmt.Errorf("gpudev: %v list size %d but %d reachable", q.k, q.l.size, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package gpudev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmdiscard/internal/units"
+)
+
+func newTestDevice(t *testing.T, blocks int, reservedBlocks int) *Device {
+	t.Helper()
+	d, err := NewDevice(Generic(units.Size(blocks)*units.BlockSize),
+		units.Size(reservedBlocks)*units.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range []Profile{RTX3080Ti(), GTX1070(), Generic(units.GiB)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidationErrors(t *testing.T) {
+	bad := Generic(units.GiB)
+	bad.MemoryBytes = units.KiB
+	if bad.Validate() == nil {
+		t.Error("tiny memory accepted")
+	}
+	bad = Generic(units.GiB)
+	bad.LocalBandwidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad = Generic(units.GiB)
+	bad.ComputeTFLOPS = -1
+	if bad.Validate() == nil {
+		t.Error("negative compute accepted")
+	}
+	bad = Generic(units.GiB)
+	bad.UnmapPerBlock = -1
+	if bad.Validate() == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestZeroTimes(t *testing.T) {
+	p := RTX3080Ti()
+	// Whole-block zeroing must be faster per byte than page-wise zeroing.
+	blockRate := float64(units.BlockSize) / p.ZeroTimeBlock().Seconds()
+	pageRate := float64(units.BlockSize) / p.ZeroTimePages(units.PagesPerBlock).Seconds()
+	if blockRate <= pageRate {
+		t.Errorf("block zero rate %v not faster than page-wise %v", blockRate, pageRate)
+	}
+	if p.ZeroTimePages(0) != 0 {
+		t.Error("zeroing 0 pages should be free")
+	}
+}
+
+func TestNewDeviceReservation(t *testing.T) {
+	d := newTestDevice(t, 10, 4)
+	if d.TotalChunks() != 10 {
+		t.Errorf("total = %d", d.TotalChunks())
+	}
+	if d.UsableChunks() != 6 {
+		t.Errorf("usable = %d", d.UsableChunks())
+	}
+	if d.UsableBytes() != 6*units.BlockSize {
+		t.Errorf("usable bytes = %d", d.UsableBytes())
+	}
+	if d.QueueLen(QueueReserved) != 4 || d.QueueLen(QueueFree) != 6 {
+		t.Errorf("queues: reserved=%d free=%d", d.QueueLen(QueueReserved), d.QueueLen(QueueFree))
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDeviceRejectsFullReservation(t *testing.T) {
+	if _, err := NewDevice(Generic(4*units.BlockSize), 4*units.BlockSize); err == nil {
+		t.Error("full reservation accepted")
+	}
+	if _, err := NewDevice(Generic(4*units.BlockSize), 5*units.BlockSize); err == nil {
+		t.Error("over-reservation accepted")
+	}
+}
+
+func TestQueueKindString(t *testing.T) {
+	names := map[QueueKind]string{
+		QueueNone: "none", QueueFree: "free", QueueUnused: "unused",
+		QueueUsed: "used", QueueDiscarded: "discarded", QueueReserved: "reserved",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if QueueKind(99).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestPopFreeExhaustion(t *testing.T) {
+	d := newTestDevice(t, 4, 0)
+	for i := 0; i < 4; i++ {
+		c := d.PopFree()
+		if c == nil {
+			t.Fatalf("pop %d returned nil", i)
+		}
+		if c.Queue() != QueueNone {
+			t.Errorf("popped chunk on queue %v", c.Queue())
+		}
+		d.PushUsed(c)
+	}
+	if d.PopFree() != nil {
+		t.Error("pop from empty free queue returned a chunk")
+	}
+	if d.QueueLen(QueueUsed) != 4 {
+		t.Errorf("used = %d", d.QueueLen(QueueUsed))
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	d := newTestDevice(t, 4, 0)
+	var cs []*Chunk
+	for i := 0; i < 3; i++ {
+		c := d.PopFree()
+		d.PushUsed(c)
+		cs = append(cs, c)
+	}
+	if d.LRUVictim() != cs[0] {
+		t.Fatal("oldest push should be LRU victim")
+	}
+	d.Touch(cs[0]) // cs[0] becomes MRU
+	if d.LRUVictim() != cs[1] {
+		t.Error("after touch, cs[1] should be LRU victim")
+	}
+	d.Touch(cs[1])
+	d.Touch(cs[2])
+	if d.LRUVictim() != cs[0] {
+		t.Error("after touching all, cs[0] should again be LRU victim")
+	}
+}
+
+func TestTouchPanicsOffUsedQueue(t *testing.T) {
+	d := newTestDevice(t, 2, 0)
+	c := d.PopFree()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic touching detached chunk")
+		}
+	}()
+	d.Touch(c)
+}
+
+func TestDiscardedFIFO(t *testing.T) {
+	d := newTestDevice(t, 4, 0)
+	a, b := d.PopFree(), d.PopFree()
+	d.PushDiscarded(a)
+	d.PushDiscarded(b)
+	if got := d.PopDiscarded(); got != a {
+		t.Error("discarded queue not FIFO")
+	}
+	if got := d.PopDiscarded(); got != b {
+		t.Error("discarded queue not FIFO (second)")
+	}
+	if d.PopDiscarded() != nil {
+		t.Error("empty discarded queue returned chunk")
+	}
+}
+
+func TestUnusedFIFO(t *testing.T) {
+	d := newTestDevice(t, 4, 0)
+	a, b := d.PopFree(), d.PopFree()
+	d.PushUnused(a)
+	d.PushUnused(b)
+	if d.PopUnused() != a || d.PopUnused() != b {
+		t.Error("unused queue not FIFO")
+	}
+}
+
+func TestPushFreeClearsState(t *testing.T) {
+	d := newTestDevice(t, 2, 0)
+	c := d.PopFree()
+	c.Owner = "block"
+	c.PreparedPages = units.PagesPerBlock
+	c.NeedsUnmapOnReclaim = true
+	d.PushFree(c)
+	if c.Owner != nil || c.PreparedPages != 0 || c.NeedsUnmapOnReclaim {
+		t.Error("PushFree did not clear chunk state")
+	}
+	if c.Queue() != QueueFree {
+		t.Errorf("queue = %v", c.Queue())
+	}
+}
+
+func TestDetach(t *testing.T) {
+	d := newTestDevice(t, 3, 0)
+	c := d.PopFree()
+	d.PushDiscarded(c)
+	d.Detach(c)
+	if c.Queue() != QueueNone {
+		t.Errorf("queue = %v after detach", c.Queue())
+	}
+	if d.QueueLen(QueueDiscarded) != 0 {
+		t.Error("discarded queue still holds detached chunk")
+	}
+	d.PushUsed(c)
+	if err := d.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleDetachPanics(t *testing.T) {
+	d := newTestDevice(t, 2, 0)
+	c := d.PopFree()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double detach")
+		}
+	}()
+	d.Detach(c)
+}
+
+func TestDoublePushPanics(t *testing.T) {
+	d := newTestDevice(t, 2, 0)
+	c := d.PopFree()
+	d.PushUsed(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic pushing chunk already on a queue")
+		}
+	}()
+	d.PushUnused(c)
+}
+
+func TestEachUsedOrder(t *testing.T) {
+	d := newTestDevice(t, 5, 0)
+	var want []int
+	for i := 0; i < 4; i++ {
+		c := d.PopFree()
+		d.PushUsed(c)
+		want = append(want, c.ID())
+	}
+	var got []int
+	d.EachUsed(func(c *Chunk) bool {
+		got = append(got, c.ID())
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d chunks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	d.EachUsed(func(*Chunk) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: a random sequence of legal queue operations preserves the
+// invariant that every chunk is on exactly one queue (or deliberately
+// detached) and that queue bookkeeping matches reachability.
+func TestQueueOperationsPreserveInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d, err := NewDevice(Generic(8*units.BlockSize), 0)
+		if err != nil {
+			return false
+		}
+		var detached []*Chunk
+		for _, op := range ops {
+			switch op % 6 {
+			case 0:
+				if c := d.PopFree(); c != nil {
+					detached = append(detached, c)
+				}
+			case 1:
+				if c := d.PopUnused(); c != nil {
+					detached = append(detached, c)
+				}
+			case 2:
+				if c := d.PopDiscarded(); c != nil {
+					detached = append(detached, c)
+				}
+			case 3:
+				if len(detached) > 0 {
+					c := detached[len(detached)-1]
+					detached = detached[:len(detached)-1]
+					d.PushUsed(c)
+				}
+			case 4:
+				if len(detached) > 0 {
+					c := detached[len(detached)-1]
+					detached = detached[:len(detached)-1]
+					d.PushDiscarded(c)
+				}
+			case 5:
+				if v := d.LRUVictim(); v != nil {
+					d.Detach(v)
+					d.PushUnused(v)
+				}
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestA100Profile(t *testing.T) {
+	p := A100()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The §2.3 quotes: local bandwidth over 2 TB/s, 80 GB class.
+	if p.LocalBandwidth < 2e12 {
+		t.Errorf("A100 local bandwidth = %v, want > 2 TB/s", p.LocalBandwidth)
+	}
+	if p.MemoryBytes < 40_000_000_000 {
+		t.Errorf("A100 memory = %d", p.MemoryBytes)
+	}
+}

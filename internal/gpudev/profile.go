@@ -1,0 +1,139 @@
+// Package gpudev models the GPU as the UVM driver sees it: a pool of 2 MiB
+// physical chunks organized into the driver's page queues (free, unused,
+// used, discarded — §5.5 of the paper), plus hardware rate parameters used
+// for timing (local bandwidth, zero-fill engine, compute throughput).
+package gpudev
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+)
+
+// Profile captures the hardware parameters of a GPU model that the
+// experiments depend on. Rates are bytes/second unless noted.
+type Profile struct {
+	// Name is a display name, e.g. "RTX 3080 Ti".
+	Name string
+	// MemoryBytes is the usable GPU DRAM capacity. The paper's 3080 Ti
+	// reports 11.77 GB usable out of 12 GB.
+	MemoryBytes units.Size
+	// LocalBandwidth is GPU DRAM bandwidth for on-device work.
+	LocalBandwidth float64
+	// ZeroBandwidthBlock is the copy-engine zero-fill rate when clearing a
+	// whole 2 MiB chunk. Large contiguous zeroing is fast (§5.4).
+	ZeroBandwidthBlock float64
+	// ZeroBandwidthPage is the effective zero-fill rate when clearing
+	// individual 4 KiB pages (sub-block work is much slower per byte).
+	ZeroBandwidthPage float64
+	// ComputeTFLOPS is peak single-precision throughput, used by workloads
+	// to derive kernel durations.
+	ComputeTFLOPS float64
+	// FaultBatchLatency is the fixed cost of servicing one batch of GPU
+	// page faults (replayable faults are reported to and handled by the
+	// driver on the CPU).
+	FaultBatchLatency sim.Time
+	// FaultPerBlock is the additional driver cost per faulted 2 MiB block
+	// within a batch.
+	FaultPerBlock sim.Time
+	// UnmapPerBlock is the cost to clear GPU PTEs and invalidate TLBs for
+	// one 2 MiB block, including the interconnect round trip (§5.1).
+	UnmapPerBlock sim.Time
+	// MapPerBlock is the cost to establish GPU PTEs for one 2 MiB block.
+	MapPerBlock sim.Time
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p *Profile) Validate() error {
+	switch {
+	case p.MemoryBytes < units.BlockSize:
+		return fmt.Errorf("gpudev: profile %q has less than one block of memory", p.Name)
+	case p.LocalBandwidth <= 0, p.ZeroBandwidthBlock <= 0, p.ZeroBandwidthPage <= 0:
+		return fmt.Errorf("gpudev: profile %q has non-positive bandwidth", p.Name)
+	case p.ComputeTFLOPS <= 0:
+		return fmt.Errorf("gpudev: profile %q has non-positive compute rate", p.Name)
+	case p.FaultBatchLatency < 0 || p.FaultPerBlock < 0 || p.UnmapPerBlock < 0 || p.MapPerBlock < 0:
+		return fmt.Errorf("gpudev: profile %q has negative cost", p.Name)
+	}
+	return nil
+}
+
+// RTX3080Ti is the paper's primary evaluation GPU (§7.1): 12 GB card with
+// 11.77 GB usable, ~912 GB/s local bandwidth, 34 TFLOPS.
+func RTX3080Ti() Profile {
+	return Profile{
+		Name:               "RTX 3080 Ti",
+		MemoryBytes:        11_770_000_000,
+		LocalBandwidth:     912e9,
+		ZeroBandwidthBlock: 400e9,
+		ZeroBandwidthPage:  25e9,
+		ComputeTFLOPS:      34,
+		FaultBatchLatency:  sim.Micros(25),
+		FaultPerBlock:      sim.Micros(6),
+		UnmapPerBlock:      sim.Micros(2.2),
+		MapPerBlock:        sim.Micros(3.0),
+	}
+}
+
+// A100 is the data-center GPU §2.3 quotes: "the GPU local memory bandwidth
+// is over 2 TB/s, but the GPU-to-GPU remote access bandwidth is limited to
+// 600 GB/s ... the GPU-to-CPU remote access bandwidth is limited to
+// 25 GB/s." 80 GB SXM variant.
+func A100() Profile {
+	return Profile{
+		Name:               "A100 80GB",
+		MemoryBytes:        80_000_000_000,
+		LocalBandwidth:     2039e9,
+		ZeroBandwidthBlock: 900e9,
+		ZeroBandwidthPage:  50e9,
+		ComputeTFLOPS:      19.5,
+		FaultBatchLatency:  sim.Micros(22),
+		FaultPerBlock:      sim.Micros(5),
+		UnmapPerBlock:      sim.Micros(2.0),
+		MapPerBlock:        sim.Micros(2.6),
+	}
+}
+
+// GTX1070 is the GPU used for Table 1 (8 GB, PCIe-3 era).
+func GTX1070() Profile {
+	return Profile{
+		Name:               "GTX 1070",
+		MemoryBytes:        8_106_000_000,
+		LocalBandwidth:     256e9,
+		ZeroBandwidthBlock: 120e9,
+		ZeroBandwidthPage:  10e9,
+		ComputeTFLOPS:      6.5,
+		FaultBatchLatency:  sim.Micros(35),
+		FaultPerBlock:      sim.Micros(8),
+		UnmapPerBlock:      sim.Micros(2.8),
+		MapPerBlock:        sim.Micros(3.8),
+	}
+}
+
+// Generic returns a small synthetic GPU, convenient for tests: capacity is
+// rounded down to whole blocks.
+func Generic(memory units.Size) Profile {
+	return Profile{
+		Name:               "Generic",
+		MemoryBytes:        memory,
+		LocalBandwidth:     500e9,
+		ZeroBandwidthBlock: 300e9,
+		ZeroBandwidthPage:  20e9,
+		ComputeTFLOPS:      10,
+		FaultBatchLatency:  sim.Micros(25),
+		FaultPerBlock:      sim.Micros(6),
+		UnmapPerBlock:      sim.Micros(2.2),
+		MapPerBlock:        sim.Micros(3.0),
+	}
+}
+
+// ZeroTimeBlock returns the time to zero-fill one whole 2 MiB chunk.
+func (p *Profile) ZeroTimeBlock() sim.Time {
+	return sim.TransferTime(uint64(units.BlockSize), p.ZeroBandwidthBlock)
+}
+
+// ZeroTimePages returns the time to zero-fill n 4 KiB pages individually.
+func (p *Profile) ZeroTimePages(n int) sim.Time {
+	return sim.TransferTime(uint64(n)*uint64(units.PageSize), p.ZeroBandwidthPage)
+}

@@ -1,0 +1,79 @@
+package hostmem
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/units"
+)
+
+func TestReserveRelease(t *testing.T) {
+	h := New(10 * units.MiB)
+	if h.Capacity() != 10*units.MiB {
+		t.Errorf("capacity = %d", h.Capacity())
+	}
+	if err := h.Reserve(6 * units.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if h.Resident() != 6*units.MiB {
+		t.Errorf("resident = %d", h.Resident())
+	}
+	if err := h.Reserve(6 * units.MiB); err == nil {
+		t.Error("over-reservation succeeded")
+	}
+	h.Release(4 * units.MiB)
+	if err := h.Reserve(6 * units.MiB); err != nil {
+		t.Errorf("reserve after release failed: %v", err)
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	h := New(units.MiB)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	h.Release(1)
+}
+
+func TestPinUnpin(t *testing.T) {
+	h := New(10 * units.MiB)
+	h.Pin(4 * units.MiB)
+	if h.Pinned() != 4*units.MiB {
+		t.Errorf("pinned = %d", h.Pinned())
+	}
+	h.Unpin(3 * units.MiB)
+	if h.Pinned() != units.MiB {
+		t.Errorf("pinned = %d", h.Pinned())
+	}
+}
+
+func TestUnpinTooMuchPanics(t *testing.T) {
+	h := New(units.MiB)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	h.Unpin(1)
+}
+
+func TestOverpinPanics(t *testing.T) {
+	h := New(units.MiB)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	h.Pin(2 * units.MiB)
+}
+
+func TestDefault(t *testing.T) {
+	h := Default()
+	if h.Capacity() != 64*units.GiB {
+		t.Errorf("default capacity = %s", units.Format(h.Capacity()))
+	}
+	if h.FaultCost() <= 0 {
+		t.Error("fault cost should be positive")
+	}
+}

@@ -1,0 +1,134 @@
+// Package lms implements the PyTorch-LMS (large-model-support) baseline of
+// Table 1: manual per-layer swapping with a caching allocator — the
+// Listing 5 approach. Instead of a unified address space, every layer's
+// device buffers are staged in before use and staged out after, through
+// explicit synchronous copies interleaved with the layer kernels. The
+// caching allocator removes the repeated cudaMalloc/cudaFree cost (the
+// approaches cost 1,806 and 2,509 lines of code in PyTorch), but the
+// transfers themselves remain: LMS always moves *useful* data both ways,
+// so its PCIe traffic is enormous and nearly independent of whether the
+// GPU is actually oversubscribed — the paper measures 112–150 GB where
+// UVM+discard moves 2–58 GB.
+package lms
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/dnn"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+// Config mirrors dnn.TrainConfig.
+type Config struct {
+	Model *dnn.ModelSpec
+	Batch int
+	Steps int
+}
+
+// Train runs the LMS-style training loop and reports throughput/traffic.
+//
+// Per step (Listing 5): stage the batch in; for each layer forward — stage
+// the weights in, compute, stage the activations out; for each layer
+// backward — stage the activations and weights back in, compute, stage the
+// updated weights out. The caching allocator keeps a working set of device
+// buffers so no allocation calls appear in the steady state; transfers are
+// synchronous with the compute stream, which is why LMS cannot hide them.
+func Train(p workloads.Platform, cfg Config) (dnn.TrainResult, error) {
+	if cfg.Model == nil || cfg.Batch <= 0 {
+		return dnn.TrainResult{}, fmt.Errorf("lms: invalid config %+v", cfg)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return dnn.TrainResult{}, err
+	}
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = dnn.DefaultSteps
+	}
+	m := cfg.Model
+	footprint := m.FootprintBytes(cfg.Batch)
+	ctx, err := p.NewContext(footprint)
+	if err != nil {
+		return dnn.TrainResult{}, err
+	}
+
+	// The caching allocator holds the largest consecutive-layer working
+	// set on the device. If even that does not fit, LMS cannot run.
+	var peak units.Size
+	batch := units.Size(cfg.Batch)
+	for i, l := range m.Layers {
+		var prev units.Size
+		if i > 0 {
+			prev = batch * m.Layers[i-1].OutPerSample
+		} else {
+			prev = batch * m.SampleBytes
+		}
+		set := prev + batch*(l.OutPerSample+l.StashPerSample) +
+			3*l.WeightBytes + l.WorkspaceFixed + batch*m.MaxOutPerSample()
+		if set > peak {
+			peak = set
+		}
+	}
+	cache, err := ctx.Malloc(units.AlignUp(peak, units.BlockSize))
+	if err != nil {
+		return dnn.TrainResult{}, fmt.Errorf("lms: working set %s does not fit: %w",
+			units.Format(peak), err)
+	}
+	defer cache.Free()
+
+	stream := ctx.Stream("main")
+	layerFlopsTime := func(l dnn.LayerSpec, dir float64) sim.Time {
+		flops := l.FlopsPerSample * float64(cfg.Batch) * dir
+		tflops := ctx.Driver().Device().Profile().ComputeTFLOPS * m.Efficiency
+		return sim.Time(flops / (tflops * 1e12) * float64(sim.Second))
+	}
+
+	var measureFrom sim.Time
+	for step := 0; step < steps; step++ {
+		if step == 1 {
+			ctx.DeviceSynchronize()
+			measureFrom = ctx.Elapsed()
+		}
+		// Stage the batch in.
+		stream.MemcpyHostToDevice(batch * (m.SampleBytes + m.LabelBytes))
+
+		// Forward: weights in, compute, activations + stash out (they are
+		// needed again in backward but do not fit on the device).
+		for _, l := range m.Layers {
+			stream.MemcpyHostToDevice(l.WeightBytes)
+			if err := stream.Launch(cuda.Kernel{
+				Name:    "fwd-" + l.Name,
+				Compute: layerFlopsTime(l, 1),
+			}); err != nil {
+				return dnn.TrainResult{}, err
+			}
+			stream.MemcpyDeviceToHost(batch * (l.OutPerSample + l.StashPerSample))
+		}
+
+		// Backward: activations, stash and weights back in; compute;
+		// updated weights out.
+		for i := len(m.Layers) - 1; i >= 0; i-- {
+			l := m.Layers[i]
+			stream.MemcpyHostToDevice(batch * (l.OutPerSample + l.StashPerSample))
+			stream.MemcpyHostToDevice(l.WeightBytes)
+			if err := stream.Launch(cuda.Kernel{
+				Name:    "bwd-" + l.Name,
+				Compute: layerFlopsTime(l, 2) + ctx.ComputeForBytes(float64(3*l.WeightBytes)),
+			}); err != nil {
+				return dnn.TrainResult{}, err
+			}
+			stream.MemcpyDeviceToHost(l.WeightBytes)
+		}
+	}
+	ctx.DeviceSynchronize()
+
+	res := workloads.CollectSince(workloads.PyTorchLMS, ctx, 0)
+	elapsed := ctx.Elapsed() - measureFrom
+	tr := dnn.TrainResult{Result: res, Footprint: footprint}
+	if measured := steps - 1; elapsed > 0 && measured > 0 {
+		tr.Throughput = float64(cfg.Batch*measured) / elapsed.Seconds()
+	}
+	return tr, nil
+}

@@ -1,0 +1,117 @@
+package lms
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/dnn"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+func tinyModel() *dnn.ModelSpec {
+	m := &dnn.ModelSpec{
+		Name:        "tiny",
+		SampleBytes: 256 * units.KiB,
+		LabelBytes:  4 * units.KiB,
+		Efficiency:  0.4,
+		Layers: []dnn.LayerSpec{
+			{Name: "l1", OutPerSample: 2 * units.MiB, WeightBytes: 4 * units.MiB, FlopsPerSample: 2e8},
+			{Name: "l2", OutPerSample: 2 * units.MiB, WeightBytes: 8 * units.MiB, FlopsPerSample: 4e8},
+			{Name: "l3", OutPerSample: units.MiB, WeightBytes: 8 * units.MiB, FlopsPerSample: 4e8},
+		},
+	}
+	if err := m.Calibrate(10, 220*units.MiB, 50, 800*units.MiB); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func tinyPlatform() workloads.Platform {
+	return workloads.Platform{GPU: gpudev.Generic(512 * units.MiB), Gen: pcie.Gen3}
+}
+
+func TestLMSTrafficIsAlwaysHuge(t *testing.T) {
+	// LMS moves everything per step regardless of pressure — its defining
+	// weakness (Table 1).
+	m := tinyModel()
+	r, err := Train(tinyPlatform(), Config{Model: m, Batch: 8, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 steps x (weights x3 + activations x2 + inputs) well exceeds the
+	// footprint even though batch 8 would fit on the GPU.
+	if r.TrafficBytes < uint64(m.FootprintBytes(8)) {
+		t.Errorf("LMS traffic %.3f GB suspiciously low", r.TrafficGB())
+	}
+	if r.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestLMSThroughputFlatAcrossPressure(t *testing.T) {
+	m := tinyModel()
+	small, err := Train(tinyPlatform(), Config{Model: m, Batch: 10, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Train(tinyPlatform(), Config{Model: m, Batch: 50, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.Throughput / small.Throughput
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("LMS throughput should be roughly flat in batch size, ratio %.2f", ratio)
+	}
+}
+
+// At oversubscription, UVM with discard beats LMS in both throughput and
+// traffic (Table 1's bottom-right corner).
+func TestDiscardBeatsLMSWhenOversubscribed(t *testing.T) {
+	m := tinyModel()
+	p := tinyPlatform()
+	cfg := Config{Model: m, Batch: 50, Steps: 4}
+	lmsR, err := Train(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := dnn.Train(p, workloads.UvmDiscard,
+		dnn.TrainConfig{Model: m, Batch: 50, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.Throughput <= lmsR.Throughput {
+		t.Errorf("discard %.1f img/s should beat LMS %.1f img/s",
+			disc.Throughput, lmsR.Throughput)
+	}
+	if disc.TrafficBytes >= lmsR.TrafficBytes {
+		t.Errorf("discard traffic %.2f GB should undercut LMS %.2f GB",
+			disc.TrafficGB(), lmsR.TrafficGB())
+	}
+}
+
+func TestLMSInvalidConfig(t *testing.T) {
+	if _, err := Train(tinyPlatform(), Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Train(tinyPlatform(), Config{Model: tinyModel(), Batch: -1}); err == nil {
+		t.Error("negative batch accepted")
+	}
+}
+
+func TestLMSWorkingSetMustFit(t *testing.T) {
+	// A single layer whose working set exceeds the GPU defeats even LMS.
+	m := &dnn.ModelSpec{
+		Name:        "huge-layer",
+		SampleBytes: units.MiB,
+		LabelBytes:  4 * units.KiB,
+		Efficiency:  0.4,
+		Layers: []dnn.LayerSpec{
+			{Name: "big", OutPerSample: 64 * units.MiB, WeightBytes: 16 * units.MiB, FlopsPerSample: 1e9},
+		},
+	}
+	if _, err := Train(tinyPlatform(), Config{Model: m, Batch: 32}); err == nil {
+		t.Error("oversized single-layer working set accepted")
+	}
+}

@@ -1,0 +1,298 @@
+// Package metrics collects the driver-level instrumentation the paper's
+// evaluation reports: PCIe traffic split by direction and cause, fault and
+// eviction counts, zero-fill work, API time, and the transfers *avoided* by
+// the discard directive.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+)
+
+// Direction of a transfer over the interconnect.
+type Direction int
+
+const (
+	// H2D is host-to-device (CPU → GPU).
+	H2D Direction = iota
+	// D2H is device-to-host (GPU → CPU).
+	D2H
+	numDirections
+)
+
+// String returns "H2D" or "D2H".
+func (d Direction) String() string {
+	switch d {
+	case H2D:
+		return "H2D"
+	case D2H:
+		return "D2H"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Cause classifies why a transfer happened.
+type Cause int
+
+const (
+	// CauseFault is a migration triggered by a GPU or CPU page fault.
+	CauseFault Cause = iota
+	// CausePrefetch is a migration performed by cudaMemPrefetchAsync.
+	CausePrefetch
+	// CauseEviction is a swap-out performed by the eviction process under
+	// GPU memory pressure.
+	CauseEviction
+	// CauseMemcpy is an explicit cudaMemcpy (No-UVM baseline only).
+	CauseMemcpy
+	// CauseRemote is a cache-coherent remote access over an NVLink-class
+	// interconnect: data crosses the link without migrating (§2.3).
+	CauseRemote
+	numCauses
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseFault:
+		return "fault"
+	case CausePrefetch:
+		return "prefetch"
+	case CauseEviction:
+		return "eviction"
+	case CauseMemcpy:
+		return "memcpy"
+	case CauseRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// EvictSource classifies where the eviction process found a chunk (§5.5).
+type EvictSource int
+
+const (
+	// EvictFree means the allocation was satisfied from the free queue (no
+	// eviction needed).
+	EvictFree EvictSource = iota
+	// EvictUnused reclaimed a leftover chunk (no transfer).
+	EvictUnused
+	// EvictDiscarded reclaimed a discarded chunk (no transfer — the
+	// paper's savings mechanism).
+	EvictDiscarded
+	// EvictLRU swapped out the least-recently-used chunk (D2H transfer).
+	EvictLRU
+	numEvictSources
+)
+
+// String names the eviction source.
+func (s EvictSource) String() string {
+	switch s {
+	case EvictFree:
+		return "free"
+	case EvictUnused:
+		return "unused"
+	case EvictDiscarded:
+		return "discarded"
+	case EvictLRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("EvictSource(%d)", int(s))
+	}
+}
+
+// Collector accumulates counters for one simulation run. The zero value is
+// ready to use.
+type Collector struct {
+	bytes    [numDirections][numCauses]uint64
+	ops      [numDirections][numCauses]int64
+	evicts   [numEvictSources]int64
+	savedH2D uint64 // bytes of H2D transfer avoided by discard
+	savedD2H uint64 // bytes of D2H transfer avoided by discard
+
+	peerBytes uint64 // GPU-to-GPU transfers (do not cross host DRAM)
+	peerOps   int64
+	peerSaved uint64 // peer transfers avoided by discard
+
+	faultBatches  int64
+	faultedBlocks int64
+	zeroBlocks    int64
+	zeroPages     int64
+	unmapBlocks   int64
+	mapBlocks     int64
+	discardCalls  int64
+	discardBlocks int64
+
+	apiTime map[string]sim.Time
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{apiTime: make(map[string]sim.Time)}
+}
+
+// AddTransfer records a transfer of n bytes.
+func (c *Collector) AddTransfer(dir Direction, cause Cause, n uint64) {
+	c.bytes[dir][cause] += n
+	c.ops[dir][cause]++
+}
+
+// AddSaved records n bytes of transfer avoided because the data was
+// discarded.
+func (c *Collector) AddSaved(dir Direction, n uint64) {
+	if dir == H2D {
+		c.savedH2D += n
+	} else {
+		c.savedD2H += n
+	}
+}
+
+// AddPeer records a GPU-to-GPU transfer of n bytes over the peer fabric.
+func (c *Collector) AddPeer(n uint64) {
+	c.peerBytes += n
+	c.peerOps++
+}
+
+// AddPeerSaved records n bytes of peer transfer avoided by discard.
+func (c *Collector) AddPeerSaved(n uint64) { c.peerSaved += n }
+
+// Peer returns (bytes, ops) of GPU-to-GPU traffic.
+func (c *Collector) Peer() (bytes uint64, ops int64) { return c.peerBytes, c.peerOps }
+
+// PeerSaved returns the peer-transfer bytes avoided by discard.
+func (c *Collector) PeerSaved() uint64 { return c.peerSaved }
+
+// AddEviction records one chunk allocation satisfied from the given source.
+func (c *Collector) AddEviction(src EvictSource) { c.evicts[src]++ }
+
+// AddFaultBatch records one fault-service batch covering n blocks.
+func (c *Collector) AddFaultBatch(blocks int) {
+	c.faultBatches++
+	c.faultedBlocks += int64(blocks)
+}
+
+// AddZeroFill records zero-fill work: whole blocks and loose 4 KiB pages.
+func (c *Collector) AddZeroFill(blocks, pages int) {
+	c.zeroBlocks += int64(blocks)
+	c.zeroPages += int64(pages)
+}
+
+// AddUnmap records PTE-destruction work on n blocks.
+func (c *Collector) AddUnmap(blocks int) { c.unmapBlocks += int64(blocks) }
+
+// AddMap records PTE-establishment work on n blocks.
+func (c *Collector) AddMap(blocks int) { c.mapBlocks += int64(blocks) }
+
+// AddDiscard records one discard API call covering n blocks.
+func (c *Collector) AddDiscard(blocks int) {
+	c.discardCalls++
+	c.discardBlocks += int64(blocks)
+}
+
+// AddAPITime attributes host-side time to a named API.
+func (c *Collector) AddAPITime(api string, t sim.Time) {
+	if c.apiTime == nil {
+		c.apiTime = make(map[string]sim.Time)
+	}
+	c.apiTime[api] += t
+}
+
+// Bytes returns the bytes transferred in dir for cause.
+func (c *Collector) Bytes(dir Direction, cause Cause) uint64 { return c.bytes[dir][cause] }
+
+// Ops returns the number of DMA operations in dir for cause.
+func (c *Collector) Ops(dir Direction, cause Cause) int64 { return c.ops[dir][cause] }
+
+// TotalBytes returns all interconnect traffic in one direction.
+func (c *Collector) TotalBytes(dir Direction) uint64 {
+	var t uint64
+	for cause := Cause(0); cause < numCauses; cause++ {
+		t += c.bytes[dir][cause]
+	}
+	return t
+}
+
+// Traffic returns total interconnect traffic in both directions — the
+// quantity the paper's "PCIe traffic (GB)" tables report.
+func (c *Collector) Traffic() uint64 {
+	return c.TotalBytes(H2D) + c.TotalBytes(D2H)
+}
+
+// Saved returns the bytes of transfer avoided by discard in each direction.
+func (c *Collector) Saved() (h2d, d2h uint64) { return c.savedH2D, c.savedD2H }
+
+// Evictions returns the count for one eviction source.
+func (c *Collector) Evictions(src EvictSource) int64 { return c.evicts[src] }
+
+// FaultBatches returns (batches, totalFaultedBlocks).
+func (c *Collector) FaultBatches() (batches, blocks int64) {
+	return c.faultBatches, c.faultedBlocks
+}
+
+// ZeroFills returns (wholeBlocks, loosePages).
+func (c *Collector) ZeroFills() (blocks, pages int64) { return c.zeroBlocks, c.zeroPages }
+
+// Unmaps returns the number of blocks whose PTEs were destroyed.
+func (c *Collector) Unmaps() int64 { return c.unmapBlocks }
+
+// Maps returns the number of blocks whose PTEs were established.
+func (c *Collector) Maps() int64 { return c.mapBlocks }
+
+// Discards returns (calls, blocksCovered).
+func (c *Collector) Discards() (calls, blocks int64) {
+	return c.discardCalls, c.discardBlocks
+}
+
+// APITime returns accumulated host time for a named API.
+func (c *Collector) APITime(api string) sim.Time { return c.apiTime[api] }
+
+// Reset zeroes all counters.
+func (c *Collector) Reset() {
+	*c = Collector{apiTime: make(map[string]sim.Time)}
+}
+
+// Summary renders a human-readable multi-line report.
+func (c *Collector) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic: total %.2f GB (H2D %.2f GB, D2H %.2f GB)\n",
+		units.GB(c.Traffic()), units.GB(c.TotalBytes(H2D)), units.GB(c.TotalBytes(D2H)))
+	for dir := Direction(0); dir < numDirections; dir++ {
+		for cause := Cause(0); cause < numCauses; cause++ {
+			if c.bytes[dir][cause] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s/%s: %.2f GB in %d ops\n",
+				dir, cause, units.GB(c.bytes[dir][cause]), c.ops[dir][cause])
+		}
+	}
+	fmt.Fprintf(&b, "saved by discard: H2D %.2f GB, D2H %.2f GB\n",
+		units.GB(c.savedH2D), units.GB(c.savedD2H))
+	if c.peerBytes > 0 || c.peerSaved > 0 {
+		fmt.Fprintf(&b, "peer (GPU-GPU): %.2f GB in %d ops; saved by discard %.2f GB\n",
+			units.GB(c.peerBytes), c.peerOps, units.GB(c.peerSaved))
+	}
+	fmt.Fprintf(&b, "evictions: free %d, unused %d, discarded %d, lru %d\n",
+		c.evicts[EvictFree], c.evicts[EvictUnused], c.evicts[EvictDiscarded], c.evicts[EvictLRU])
+	fmt.Fprintf(&b, "faults: %d batches, %d blocks; zero-fill: %d blocks + %d pages\n",
+		c.faultBatches, c.faultedBlocks, c.zeroBlocks, c.zeroPages)
+	fmt.Fprintf(&b, "PTE ops: %d unmapped, %d mapped; discards: %d calls over %d blocks\n",
+		c.unmapBlocks, c.mapBlocks, c.discardCalls, c.discardBlocks)
+	if len(c.apiTime) > 0 {
+		names := make([]string, 0, len(c.apiTime))
+		for k := range c.apiTime {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("API time:")
+		for _, k := range names {
+			fmt.Fprintf(&b, " %s=%v", k, c.apiTime[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/sim"
+)
+
+func TestTransfersAndTotals(t *testing.T) {
+	c := New()
+	c.AddTransfer(H2D, CauseFault, 100)
+	c.AddTransfer(H2D, CausePrefetch, 200)
+	c.AddTransfer(D2H, CauseEviction, 300)
+	c.AddTransfer(D2H, CauseMemcpy, 50)
+
+	if c.Bytes(H2D, CauseFault) != 100 {
+		t.Errorf("fault bytes = %d", c.Bytes(H2D, CauseFault))
+	}
+	if c.Ops(H2D, CausePrefetch) != 1 {
+		t.Errorf("prefetch ops = %d", c.Ops(H2D, CausePrefetch))
+	}
+	if c.TotalBytes(H2D) != 300 {
+		t.Errorf("H2D total = %d", c.TotalBytes(H2D))
+	}
+	if c.TotalBytes(D2H) != 350 {
+		t.Errorf("D2H total = %d", c.TotalBytes(D2H))
+	}
+	if c.Traffic() != 650 {
+		t.Errorf("traffic = %d", c.Traffic())
+	}
+}
+
+func TestSaved(t *testing.T) {
+	c := New()
+	c.AddSaved(H2D, 10)
+	c.AddSaved(D2H, 20)
+	c.AddSaved(D2H, 5)
+	h, d := c.Saved()
+	if h != 10 || d != 25 {
+		t.Errorf("saved = %d/%d", h, d)
+	}
+}
+
+func TestEvictionCounters(t *testing.T) {
+	c := New()
+	c.AddEviction(EvictFree)
+	c.AddEviction(EvictDiscarded)
+	c.AddEviction(EvictDiscarded)
+	c.AddEviction(EvictLRU)
+	if c.Evictions(EvictFree) != 1 || c.Evictions(EvictDiscarded) != 2 ||
+		c.Evictions(EvictLRU) != 1 || c.Evictions(EvictUnused) != 0 {
+		t.Error("eviction counters wrong")
+	}
+}
+
+func TestFaultZeroMapCounters(t *testing.T) {
+	c := New()
+	c.AddFaultBatch(3)
+	c.AddFaultBatch(2)
+	batches, blocks := c.FaultBatches()
+	if batches != 2 || blocks != 5 {
+		t.Errorf("faults = %d/%d", batches, blocks)
+	}
+	c.AddZeroFill(2, 10)
+	zb, zp := c.ZeroFills()
+	if zb != 2 || zp != 10 {
+		t.Errorf("zeros = %d/%d", zb, zp)
+	}
+	c.AddUnmap(4)
+	c.AddMap(7)
+	if c.Unmaps() != 4 || c.Maps() != 7 {
+		t.Error("map counters wrong")
+	}
+	c.AddDiscard(16)
+	calls, covered := c.Discards()
+	if calls != 1 || covered != 16 {
+		t.Errorf("discards = %d/%d", calls, covered)
+	}
+}
+
+func TestAPITime(t *testing.T) {
+	c := New()
+	c.AddAPITime("cudaMalloc", sim.Micros(48))
+	c.AddAPITime("cudaMalloc", sim.Micros(2))
+	if c.APITime("cudaMalloc") != sim.Micros(50) {
+		t.Errorf("api time = %v", c.APITime("cudaMalloc"))
+	}
+	if c.APITime("unknown") != 0 {
+		t.Error("unknown api time nonzero")
+	}
+}
+
+func TestZeroValueCollectorUsable(t *testing.T) {
+	var c Collector
+	c.AddAPITime("x", 1) // must not panic on nil map
+	c.AddTransfer(H2D, CauseFault, 1)
+	if c.Traffic() != 1 {
+		t.Error("zero-value collector broken")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.AddTransfer(H2D, CauseFault, 100)
+	c.AddEviction(EvictLRU)
+	c.AddAPITime("x", 5)
+	c.Reset()
+	if c.Traffic() != 0 || c.Evictions(EvictLRU) != 0 || c.APITime("x") != 0 {
+		t.Error("reset incomplete")
+	}
+	c.AddAPITime("y", 1) // map must be re-usable after reset
+}
+
+func TestStringers(t *testing.T) {
+	if H2D.String() != "H2D" || D2H.String() != "D2H" {
+		t.Error("direction names")
+	}
+	if CauseFault.String() != "fault" || CausePrefetch.String() != "prefetch" ||
+		CauseEviction.String() != "eviction" || CauseMemcpy.String() != "memcpy" {
+		t.Error("cause names")
+	}
+	for _, s := range []EvictSource{EvictFree, EvictUnused, EvictDiscarded, EvictLRU} {
+		if s.String() == "" {
+			t.Error("empty eviction source name")
+		}
+	}
+	if Direction(9).String() == "" || Cause(9).String() == "" || EvictSource(9).String() == "" {
+		t.Error("unknown enum values should still stringify")
+	}
+}
+
+func TestSummaryMentionsKeyFields(t *testing.T) {
+	c := New()
+	c.AddTransfer(H2D, CausePrefetch, 1_000_000_000)
+	c.AddSaved(D2H, 2_000_000_000)
+	c.AddEviction(EvictDiscarded)
+	c.AddAPITime("UvmDiscard", sim.Micros(4))
+	s := c.Summary()
+	for _, want := range []string{"traffic", "H2D/prefetch", "saved by discard", "discarded 1", "UvmDiscard"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package pcie models the CPU-GPU interconnect used by the UVM driver
+// simulator.
+//
+// The paper's evaluation platform connects the GPU over PCIe 3 or PCIe 4
+// (switchable on the B550 motherboard) and shows in Figure 4 that
+// cudaMemPrefetchAsync throughput depends strongly on transfer size: tiny
+// transfers are latency-bound, large ones approach the link's peak. We model
+// each DMA operation as
+//
+//	time(bytes) = latency + bytes/peak
+//
+// which reproduces that saturation curve. Migrations in the driver happen at
+// 2 MiB chunk granularity, and the driver batches contiguous chunks into
+// larger DMA operations when it can, which is why the paper prefers full
+// 2 MiB discards (§5.4): a 4 KiB transfer achieves well under 1 GB/s while a
+// 2 MiB one reaches most of peak bandwidth.
+package pcie
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/sim"
+)
+
+// Generation identifies a PCIe generation preset.
+type Generation int
+
+const (
+	// Gen3 is PCIe 3.0 x16: ~12.3 GB/s effective peak.
+	Gen3 Generation = 3
+	// Gen4 is PCIe 4.0 x16: ~24.7 GB/s effective peak. The paper notes the
+	// platform's DDR4-3200 bottlenecks PCIe-4 at ~25 GB/s.
+	Gen4 Generation = 4
+	// GenNVLink is a cache-coherent CPU-GPU interconnect of the POWER9 /
+	// NVLink class (§2.3): higher bandwidth and, crucially, coherent —
+	// the GPU can access host memory remotely without migrating it.
+	GenNVLink Generation = 9
+)
+
+// String returns "PCIe-3" style names matching the paper's table captions.
+func (g Generation) String() string {
+	if g == GenNVLink {
+		return "NVLink"
+	}
+	return fmt.Sprintf("PCIe-%d", int(g))
+}
+
+// Link is an interconnect with a fixed per-operation latency and peak
+// bandwidth. The zero value is unusable; use NewLink or a preset.
+type Link struct {
+	gen      Generation
+	peak     float64  // bytes/second
+	latency  sim.Time // per-DMA-operation setup latency
+	coherent bool     // supports cache-coherent remote access (§2.3)
+}
+
+// NewLink builds a link from raw parameters. peak is in bytes/second.
+func NewLink(gen Generation, peak float64, latency sim.Time) *Link {
+	if peak <= 0 {
+		panic("pcie: non-positive peak bandwidth")
+	}
+	if latency < 0 {
+		panic("pcie: negative latency")
+	}
+	return &Link{gen: gen, peak: peak, latency: latency}
+}
+
+// Preset returns the link model for a PCIe generation, calibrated so that
+// the Figure 4 curve saturates near 12.3 GB/s (Gen3) and 24.7 GB/s (Gen4)
+// with the knee between 256 KiB and 2 MiB.
+func Preset(gen Generation) *Link {
+	switch gen {
+	case Gen3:
+		return NewLink(Gen3, 12.3e9, sim.Micros(18))
+	case Gen4:
+		return NewLink(Gen4, 24.7e9, sim.Micros(15))
+	case GenNVLink:
+		l := NewLink(GenNVLink, 63e9, sim.Micros(9))
+		l.coherent = true
+		return l
+	default:
+		panic(fmt.Sprintf("pcie: unknown generation %d", int(gen)))
+	}
+}
+
+// Generation returns the link's PCIe generation.
+func (l *Link) Generation() Generation { return l.gen }
+
+// PeakBandwidth returns the link's peak in bytes/second.
+func (l *Link) PeakBandwidth() float64 { return l.peak }
+
+// Latency returns the fixed per-operation setup latency.
+func (l *Link) Latency() sim.Time { return l.latency }
+
+// Coherent reports whether the link supports cache-coherent remote memory
+// access: the GPU can read and write host memory directly (at link
+// bandwidth) instead of migrating pages (§2.3).
+func (l *Link) Coherent() bool { return l.coherent }
+
+// RemoteAccessTime returns the time one remote access of n bytes occupies
+// the link. Remote accesses are fine-grained loads/stores aggregated by
+// the coherence hardware: no DMA setup latency, but the link's bandwidth
+// bounds them.
+func (l *Link) RemoteAccessTime(n uint64) sim.Time {
+	if n == 0 {
+		return 0
+	}
+	return sim.TransferTime(n, l.peak)
+}
+
+// TransferTime returns the time one DMA operation of n bytes occupies the
+// link. Zero bytes take zero time (no operation is issued).
+func (l *Link) TransferTime(n uint64) sim.Time {
+	if n == 0 {
+		return 0
+	}
+	return l.latency + sim.TransferTime(n, l.peak)
+}
+
+// Throughput returns the effective throughput in bytes/second achieved by a
+// single transfer of n bytes — the quantity Figure 4 plots.
+func (l *Link) Throughput(n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	t := l.TransferTime(n)
+	return float64(n) / t.Seconds()
+}

@@ -1,0 +1,158 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmdiscard/internal/units"
+)
+
+func TestPresets(t *testing.T) {
+	g3, g4 := Preset(Gen3), Preset(Gen4)
+	if g3.Generation() != Gen3 || g4.Generation() != Gen4 {
+		t.Fatal("preset generation mismatch")
+	}
+	if g4.PeakBandwidth() <= g3.PeakBandwidth() {
+		t.Error("Gen4 peak should exceed Gen3 peak")
+	}
+	if g3.Generation().String() == g4.Generation().String() {
+		t.Error("generations should stringify differently")
+	}
+	if Gen3.String() != "PCIe-3" {
+		t.Errorf("String = %q", Gen3.String())
+	}
+}
+
+func TestUnknownGenerationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Preset(Generation(5))
+}
+
+func TestZeroBytesFree(t *testing.T) {
+	l := Preset(Gen4)
+	if l.TransferTime(0) != 0 {
+		t.Error("zero-byte transfer should take zero time")
+	}
+	if l.Throughput(0) != 0 {
+		t.Error("zero-byte throughput should be zero")
+	}
+}
+
+// Figure 4 property: throughput increases monotonically with transfer size
+// and saturates near the link peak for large transfers.
+func TestThroughputCurveShape(t *testing.T) {
+	for _, gen := range []Generation{Gen3, Gen4} {
+		l := Preset(gen)
+		sizes := []uint64{
+			4 * units.KiB, 16 * units.KiB, 64 * units.KiB, 256 * units.KiB,
+			units.MiB, 2 * units.MiB, 16 * units.MiB, 128 * units.MiB, units.GiB,
+		}
+		prev := 0.0
+		for _, s := range sizes {
+			tp := l.Throughput(s)
+			if tp <= prev {
+				t.Errorf("%v: throughput not monotonic at %s: %v <= %v",
+					gen, units.Format(s), tp, prev)
+			}
+			if tp > l.PeakBandwidth() {
+				t.Errorf("%v: throughput %v exceeds peak %v", gen, tp, l.PeakBandwidth())
+			}
+			prev = tp
+		}
+		// Large transfers reach at least 95% of peak.
+		if tp := l.Throughput(units.GiB); tp < 0.95*l.PeakBandwidth() {
+			t.Errorf("%v: 1 GiB transfer only reaches %.1f%% of peak",
+				gen, 100*tp/l.PeakBandwidth())
+		}
+		// 4 KiB transfers are latency-bound: under 5% of peak.
+		if tp := l.Throughput(4 * units.KiB); tp > 0.05*l.PeakBandwidth() {
+			t.Errorf("%v: 4 KiB transfer reaches %.1f%% of peak, want latency-bound",
+				gen, 100*tp/l.PeakBandwidth())
+		}
+	}
+}
+
+// A 2 MiB migration should already achieve a large fraction of peak — the
+// §5.4 argument for preferring whole-block discards.
+func TestTwoMiBNearPeak(t *testing.T) {
+	for _, gen := range []Generation{Gen3, Gen4} {
+		l := Preset(gen)
+		frac := l.Throughput(2*units.MiB) / l.PeakBandwidth()
+		if frac < 0.5 {
+			t.Errorf("%v: 2 MiB reaches only %.0f%% of peak", gen, 100*frac)
+		}
+	}
+}
+
+func TestGen4FasterThanGen3(t *testing.T) {
+	g3, g4 := Preset(Gen3), Preset(Gen4)
+	for _, s := range []uint64{4 * units.KiB, 2 * units.MiB, units.GiB} {
+		if g4.TransferTime(s) >= g3.TransferTime(s) {
+			t.Errorf("Gen4 not faster than Gen3 at %s", units.Format(s))
+		}
+	}
+}
+
+func TestTransferTimeAdditiveProperty(t *testing.T) {
+	// One big DMA op is never slower than two halves (it pays latency once).
+	l := Preset(Gen3)
+	f := func(a, b uint32) bool {
+		whole := l.TransferTime(uint64(a) + uint64(b))
+		split := l.TransferTime(uint64(a)) + l.TransferTime(uint64(b))
+		return whole <= split
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLink(Gen3, 0, 0) },
+		func() { NewLink(Gen3, 1e9, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNVLinkPreset(t *testing.T) {
+	nv := Preset(GenNVLink)
+	if !nv.Coherent() {
+		t.Fatal("NVLink preset must be coherent")
+	}
+	if nv.Generation().String() != "NVLink" {
+		t.Errorf("name = %q", nv.Generation().String())
+	}
+	if nv.PeakBandwidth() <= Preset(Gen4).PeakBandwidth() {
+		t.Error("NVLink should out-bandwidth PCIe-4")
+	}
+	for _, gen := range []Generation{Gen3, Gen4} {
+		if Preset(gen).Coherent() {
+			t.Errorf("%v should not be coherent", gen)
+		}
+	}
+}
+
+func TestRemoteAccessTime(t *testing.T) {
+	nv := Preset(GenNVLink)
+	if nv.RemoteAccessTime(0) != 0 {
+		t.Error("zero-byte remote access should be free")
+	}
+	// Remote access pays no DMA setup latency: for one block it is
+	// cheaper than a migration.
+	n := uint64(2 * units.MiB)
+	if nv.RemoteAccessTime(n) >= nv.TransferTime(n) {
+		t.Error("remote access should undercut a DMA op of the same size")
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeHelpers(t *testing.T) {
+	if Micros(1.5) != 1500*Nanosecond {
+		t.Errorf("Micros(1.5) = %v", Micros(1.5))
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := (3 * Microsecond).Microseconds(); got != 3.0 {
+		t.Errorf("Microseconds = %v", got)
+	}
+	if Max(1, 2) != 2 || Min(1, 2) != 1 {
+		t.Error("Max/Min wrong")
+	}
+	if (Millisecond).String() != "1ms" {
+		t.Errorf("String = %q", Millisecond.String())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 GiB at 1 GiB/s takes one second.
+	got := TransferTime(1<<30, float64(1<<30))
+	if got != Second {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	// Zero bytes take zero time.
+	if TransferTime(0, 1e9) != 0 {
+		t.Error("TransferTime(0) != 0")
+	}
+}
+
+func TestTransferTimePanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero bandwidth")
+		}
+	}()
+	TransferTime(1, 0)
+}
+
+func TestEngineSerializes(t *testing.T) {
+	e := NewEngine("copy")
+	s1, e1 := e.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first reservation [%v,%v)", s1, e1)
+	}
+	// A request that is ready at time 5 must wait for the engine.
+	s2, e2 := e.Reserve(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second reservation [%v,%v), want [10,20)", s2, e2)
+	}
+	// A request ready after the engine is free starts immediately.
+	s3, e3 := e.Reserve(100, 1)
+	if s3 != 100 || e3 != 101 {
+		t.Fatalf("third reservation [%v,%v), want [100,101)", s3, e3)
+	}
+	if e.Busy() != 21 {
+		t.Errorf("busy = %v, want 21", e.Busy())
+	}
+	if e.Ops() != 3 {
+		t.Errorf("ops = %d, want 3", e.Ops())
+	}
+}
+
+func TestEngineZeroDuration(t *testing.T) {
+	e := NewEngine("x")
+	e.Reserve(0, 10)
+	s, end := e.Reserve(0, 0)
+	if s != 10 || end != 10 {
+		t.Errorf("zero reservation [%v,%v)", s, end)
+	}
+	if e.FreeAt() != 10 {
+		t.Errorf("zero-duration reservation moved freeAt to %v", e.FreeAt())
+	}
+	if e.Ops() != 1 {
+		t.Errorf("zero-duration reservation counted as op")
+	}
+}
+
+func TestEngineReservationsNeverOverlap(t *testing.T) {
+	f := func(readies []uint16, durs []uint16) bool {
+		e := NewEngine("p")
+		var lastEnd Time
+		n := len(readies)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			s, end := e.Reserve(Time(readies[i]), Time(durs[i]))
+			if s < lastEnd && durs[i] > 0 {
+				return false
+			}
+			if end-s != Time(durs[i]) {
+				return false
+			}
+			if durs[i] > 0 {
+				lastEnd = end
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine("x")
+	e.Reserve(0, 5)
+	e.Reset()
+	if e.FreeAt() != 0 || e.Busy() != 0 || e.Ops() != 0 {
+		t.Error("reset did not clear engine state")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.Advance(10)
+	if c.Now() != 10 {
+		t.Errorf("now = %v", c.Now())
+	}
+	c.WaitUntil(5) // never backwards
+	if c.Now() != 10 {
+		t.Errorf("WaitUntil moved clock backwards to %v", c.Now())
+	}
+	c.WaitUntil(50)
+	if c.Now() != 50 {
+		t.Errorf("now = %v, want 50", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced identical first value")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced degenerate stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

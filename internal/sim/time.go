@@ -1,0 +1,80 @@
+// Package sim provides the deterministic virtual-time substrate for the UVM
+// simulator: a Time type, serially-reusable Engine resources that model
+// hardware units (copy engines, the GPU compute engine, the driver thread),
+// and a Clock that tracks the host thread's position on the timeline.
+//
+// The simulator is not event-driven in the classic sense: operations are
+// issued in program order and each reserves intervals on the engines it
+// needs. Overlap between computation and memory operations emerges from
+// engines being independent timelines. This is sufficient for the paper's
+// workloads, which are single-logical-stream CUDA pipelines.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point (or span) of virtual time in nanoseconds.
+type Time int64
+
+// Handy durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Infinity is a time later than any the simulator produces.
+const Infinity Time = 1<<63 - 1
+
+// Micros constructs a Time from a (possibly fractional) microsecond count.
+func Micros(us float64) Time {
+	return Time(us * float64(Microsecond))
+}
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 {
+	return float64(t) / float64(Second)
+}
+
+// Microseconds returns t as floating-point microseconds.
+func (t Time) Microseconds() float64 {
+	return float64(t) / float64(Microsecond)
+}
+
+// Duration converts to a time.Duration for formatting.
+func (t Time) Duration() time.Duration {
+	return time.Duration(t)
+}
+
+// String formats the time with time.Duration rules ("1.5ms").
+func (t Time) String() string {
+	return t.Duration().String()
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TransferTime returns the time to move n bytes at bw bytes/second, with no
+// fixed latency. bw must be positive.
+func TransferTime(n uint64, bw float64) Time {
+	if bw <= 0 {
+		panic(fmt.Sprintf("sim: non-positive bandwidth %v", bw))
+	}
+	return Time(float64(n) / bw * float64(Second))
+}

@@ -1,0 +1,283 @@
+// Package trace records driver-level events and classifies transfers as
+// required or redundant after the fact.
+//
+// The paper defines a redundant memory transfer (RMT) as "an automatic
+// memory transfer orchestrated by the UVM system that is not needed for
+// correctness" — e.g. a buffer migrated and then overwritten before being
+// read (§1, §3). Figure 3 is produced by exactly this classification: total
+// UVM traffic vs the non-redundant portion. The analyzer here implements
+// it at block granularity:
+//
+//   - An H2D transfer is REQUIRED iff the first subsequent data-consuming
+//     event for that block on the GPU is a read. If the block is instead
+//     first overwritten, discarded, migrated back, or never touched again,
+//     the transfer moved dead bytes.
+//   - A D2H transfer is REQUIRED iff the block's data is subsequently
+//     consumed: read by the CPU, or migrated back to the GPU and then read
+//     there. If it is first overwritten, discarded, or never used again,
+//     the swap-out was redundant.
+//
+// Accesses are recorded at the same block granularity the driver manages,
+// with the workload declaring read-before-write vs overwrite semantics per
+// access — the same application-level knowledge the discard directive
+// exploits.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmdiscard/internal/sim"
+)
+
+// Kind enumerates trace event types.
+type Kind int
+
+const (
+	// TransferH2D is a host-to-device migration of one block.
+	TransferH2D Kind = iota
+	// TransferD2H is a device-to-host migration (eviction or CPU pull).
+	TransferD2H
+	// GPURead is a GPU access that consumes the block's existing data.
+	GPURead
+	// GPUWrite is a GPU access that overwrites the block without reading
+	// its previous contents.
+	GPUWrite
+	// CPURead is a host access consuming existing data.
+	CPURead
+	// CPUWrite is a host overwrite.
+	CPUWrite
+	// TransferPeer is a GPU-to-GPU migration over the peer fabric.
+	TransferPeer
+	// Discard marks the block's contents dead (either discard flavor).
+	Discard
+	// ZeroFill records fresh zeroed memory being mapped for the block.
+	ZeroFill
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TransferH2D:
+		return "h2d"
+	case TransferD2H:
+		return "d2h"
+	case GPURead:
+		return "gpu-read"
+	case GPUWrite:
+		return "gpu-write"
+	case CPURead:
+		return "cpu-read"
+	case CPUWrite:
+		return "cpu-write"
+	case TransferPeer:
+		return "peer"
+	case Discard:
+		return "discard"
+	case ZeroFill:
+		return "zero"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	T     sim.Time
+	Kind  Kind
+	Alloc int // allocation ID
+	Block int // block index within the allocation
+	Bytes uint64
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so the driver can be run without tracing overhead.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends an event. No-op on a nil recorder.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.events = r.events[:0]
+	}
+}
+
+// Analysis is the result of RMT classification over a trace.
+type Analysis struct {
+	// TotalH2D / TotalD2H are total transferred bytes by direction;
+	// TotalPeer covers GPU-to-GPU migrations.
+	TotalH2D, TotalD2H, TotalPeer uint64
+	// RedundantH2D / RedundantD2H / RedundantPeer are the redundant
+	// portions.
+	RedundantH2D, RedundantD2H, RedundantPeer uint64
+	// RequiredBytes is total minus redundant, both directions.
+	RequiredBytes uint64
+	// TransferCount / RedundantCount count per-block transfer events.
+	TransferCount, RedundantCount int
+}
+
+// Total returns all transferred bytes.
+func (a Analysis) Total() uint64 { return a.TotalH2D + a.TotalD2H + a.TotalPeer }
+
+// Redundant returns all redundant bytes.
+func (a Analysis) Redundant() uint64 {
+	return a.RedundantH2D + a.RedundantD2H + a.RedundantPeer
+}
+
+// RedundantFraction returns redundant/total, or 0 for an empty trace.
+func (a Analysis) RedundantFraction() float64 {
+	if a.Total() == 0 {
+		return 0
+	}
+	return float64(a.Redundant()) / float64(a.Total())
+}
+
+// String summarizes the analysis.
+func (a Analysis) String() string {
+	return fmt.Sprintf("transfers %d (%d redundant, %.1f%%); bytes total %d, redundant %d, required %d",
+		a.TransferCount, a.RedundantCount, 100*a.RedundantFraction(),
+		a.Total(), a.Redundant(), a.RequiredBytes)
+}
+
+type blockKey struct{ alloc, block int }
+
+// Analyze classifies every transfer in the trace. Events recorded at equal
+// times keep their record order (the driver records in issue order).
+func Analyze(r *Recorder) Analysis {
+	var a Analysis
+	if r == nil || len(r.events) == 0 {
+		return a
+	}
+	// Group events per block, preserving order within each block.
+	perBlock := make(map[blockKey][]Event)
+	for _, ev := range r.events {
+		k := blockKey{ev.Alloc, ev.Block}
+		perBlock[k] = append(perBlock[k], ev)
+	}
+	// Deterministic iteration order (for reproducible debugging output,
+	// not correctness).
+	keys := make([]blockKey, 0, len(perBlock))
+	for k := range perBlock {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alloc != keys[j].alloc {
+			return keys[i].alloc < keys[j].alloc
+		}
+		return keys[i].block < keys[j].block
+	})
+	for _, k := range keys {
+		evs := perBlock[k]
+		// Events are already time-ordered per block because the driver
+		// records in issue order; enforce stable order by time anyway.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+		for i, ev := range evs {
+			switch ev.Kind {
+			case TransferH2D:
+				a.TotalH2D += ev.Bytes
+				a.TransferCount++
+				if !h2dRequired(evs[i+1:]) {
+					a.RedundantH2D += ev.Bytes
+					a.RedundantCount++
+				}
+			case TransferPeer:
+				a.TotalPeer += ev.Bytes
+				a.TransferCount++
+				if !h2dRequired(evs[i+1:]) {
+					a.RedundantPeer += ev.Bytes
+					a.RedundantCount++
+				}
+			case TransferD2H:
+				a.TotalD2H += ev.Bytes
+				a.TransferCount++
+				if !d2hRequired(evs[i+1:]) {
+					a.RedundantD2H += ev.Bytes
+					a.RedundantCount++
+				}
+			}
+		}
+	}
+	a.RequiredBytes = a.Total() - a.Redundant()
+	return a
+}
+
+// h2dRequired reports whether data just moved to the GPU is consumed there
+// before dying.
+func h2dRequired(rest []Event) bool {
+	for _, ev := range rest {
+		switch ev.Kind {
+		case GPURead:
+			return true
+		case GPUWrite, Discard, ZeroFill:
+			return false
+		case TransferD2H:
+			// Bounced back without any GPU read: the H2D moved dead bytes.
+			return false
+		}
+	}
+	return false // never consumed
+}
+
+// d2hRequired reports whether data just swapped out to the host is consumed
+// anywhere before dying. After the data returns to the GPU (TransferH2D),
+// a GPU read consumes it; CPU reads consume it directly.
+func d2hRequired(rest []Event) bool {
+	onHost := true
+	for _, ev := range rest {
+		switch ev.Kind {
+		case CPURead:
+			if onHost {
+				return true
+			}
+		case CPUWrite:
+			if onHost {
+				return false
+			}
+		case Discard, ZeroFill:
+			return false
+		case TransferH2D:
+			onHost = false
+		case GPURead:
+			if !onHost {
+				return true
+			}
+		case GPUWrite:
+			if !onHost {
+				return false
+			}
+		case TransferD2H:
+			// Swapped out again; keep scanning — the data is still alive,
+			// now on the host again.
+			onHost = true
+		}
+	}
+	return false
+}

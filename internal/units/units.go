@@ -1,0 +1,138 @@
+// Package units provides byte-size types and helpers shared across the
+// simulator. Sizes are plain uint64 byte counts; the helpers exist so that
+// experiment tables and logs format sizes the same way everywhere.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Size is a byte count.
+type Size = uint64
+
+// Common power-of-two sizes.
+const (
+	KiB Size = 1 << 10
+	MiB Size = 1 << 20
+	GiB Size = 1 << 30
+	TiB Size = 1 << 40
+)
+
+// Page and block granularities used by the UVM driver model.
+const (
+	// PageSize is the small (system) page size: 4 KiB.
+	PageSize Size = 4 * KiB
+	// BlockSize is the big-page / chunk granularity the driver manages
+	// physically: 2 MiB (§5.4 of the paper).
+	BlockSize Size = 2 * MiB
+	// PagesPerBlock is the number of 4 KiB pages in a 2 MiB block.
+	PagesPerBlock = int(BlockSize / PageSize)
+)
+
+// AlignUp rounds n up to the next multiple of align. align must be a power
+// of two.
+func AlignUp(n, align Size) Size {
+	return (n + align - 1) &^ (align - 1)
+}
+
+// AlignDown rounds n down to a multiple of align. align must be a power of
+// two.
+func AlignDown(n, align Size) Size {
+	return n &^ (align - 1)
+}
+
+// IsAligned reports whether n is a multiple of align (a power of two).
+func IsAligned(n, align Size) bool {
+	return n&(align-1) == 0
+}
+
+// BlocksIn returns the number of 2 MiB blocks needed to cover n bytes.
+func BlocksIn(n Size) int {
+	return int(AlignUp(n, BlockSize) / BlockSize)
+}
+
+// PagesIn returns the number of 4 KiB pages needed to cover n bytes.
+func PagesIn(n Size) int {
+	return int(AlignUp(n, PageSize) / PageSize)
+}
+
+// Format renders a size with a binary-prefix unit, e.g. "5.66 GiB".
+// Exact multiples print without a fraction ("2 MiB").
+func Format(n Size) string {
+	switch {
+	case n >= TiB:
+		return formatUnit(n, TiB, "TiB")
+	case n >= GiB:
+		return formatUnit(n, GiB, "GiB")
+	case n >= MiB:
+		return formatUnit(n, MiB, "MiB")
+	case n >= KiB:
+		return formatUnit(n, KiB, "KiB")
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func formatUnit(n, unit Size, suffix string) string {
+	if n%unit == 0 {
+		return fmt.Sprintf("%d %s", n/unit, suffix)
+	}
+	return fmt.Sprintf("%.2f %s", float64(n)/float64(unit), suffix)
+}
+
+// GB renders a size in decimal gigabytes with two decimals, matching the
+// units used by the paper's traffic tables ("PCIe traffic (GB)").
+func GB(n Size) float64 {
+	return float64(n) / 1e9
+}
+
+// Parse parses strings like "512", "4KiB", "2MiB", "5.5GiB", "12GB"
+// (decimal suffixes KB/MB/GB/TB use powers of ten). It accepts an optional
+// space before the suffix.
+func Parse(s string) (Size, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("units: empty size")
+	}
+	i := 0
+	for i < len(s) && (s[i] == '.' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	numPart, suffix := s[:i], strings.TrimSpace(s[i:])
+	if numPart == "" {
+		return 0, fmt.Errorf("units: no number in %q", s)
+	}
+	val, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad number in %q: %w", s, err)
+	}
+	var mult float64
+	switch strings.ToUpper(suffix) {
+	case "", "B":
+		mult = 1
+	case "KIB":
+		mult = float64(KiB)
+	case "MIB":
+		mult = float64(MiB)
+	case "GIB":
+		mult = float64(GiB)
+	case "TIB":
+		mult = float64(TiB)
+	case "KB":
+		mult = 1e3
+	case "MB":
+		mult = 1e6
+	case "GB":
+		mult = 1e9
+	case "TB":
+		mult = 1e12
+	default:
+		return 0, fmt.Errorf("units: unknown suffix %q in %q", suffix, s)
+	}
+	if val < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	return Size(val * mult), nil
+}

@@ -1,0 +1,143 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct {
+		n, align, want Size
+	}{
+		{0, PageSize, 0},
+		{1, PageSize, PageSize},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, PageSize, 2 * PageSize},
+		{BlockSize - 1, BlockSize, BlockSize},
+		{BlockSize, BlockSize, BlockSize},
+		{3 * MiB, BlockSize, 4 * MiB},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.n, c.align); got != c.want {
+			t.Errorf("AlignUp(%d, %d) = %d, want %d", c.n, c.align, got, c.want)
+		}
+	}
+}
+
+func TestAlignDown(t *testing.T) {
+	cases := []struct {
+		n, align, want Size
+	}{
+		{0, PageSize, 0},
+		{1, PageSize, 0},
+		{PageSize, PageSize, PageSize},
+		{2*PageSize - 1, PageSize, PageSize},
+		{3 * MiB, BlockSize, 2 * MiB},
+	}
+	for _, c := range cases {
+		if got := AlignDown(c.n, c.align); got != c.want {
+			t.Errorf("AlignDown(%d, %d) = %d, want %d", c.n, c.align, got, c.want)
+		}
+	}
+}
+
+func TestAlignPropertyRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		s := Size(n)
+		up := AlignUp(s, PageSize)
+		down := AlignDown(s, PageSize)
+		if !IsAligned(up, PageSize) || !IsAligned(down, PageSize) {
+			return false
+		}
+		if up < s || down > s {
+			return false
+		}
+		if IsAligned(s, PageSize) {
+			return up == s && down == s
+		}
+		return up-down == PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocksAndPages(t *testing.T) {
+	if got := BlocksIn(0); got != 0 {
+		t.Errorf("BlocksIn(0) = %d", got)
+	}
+	if got := BlocksIn(1); got != 1 {
+		t.Errorf("BlocksIn(1) = %d", got)
+	}
+	if got := BlocksIn(BlockSize); got != 1 {
+		t.Errorf("BlocksIn(BlockSize) = %d", got)
+	}
+	if got := BlocksIn(BlockSize + 1); got != 2 {
+		t.Errorf("BlocksIn(BlockSize+1) = %d", got)
+	}
+	if got := PagesIn(5 * PageSize); got != 5 {
+		t.Errorf("PagesIn(5 pages) = %d", got)
+	}
+	if PagesPerBlock != 512 {
+		t.Errorf("PagesPerBlock = %d, want 512", PagesPerBlock)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		n    Size
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{KiB, "1 KiB"},
+		{2 * MiB, "2 MiB"},
+		{GiB + GiB/2, "1.50 GiB"},
+		{3 * TiB, "3 TiB"},
+	}
+	for _, c := range cases {
+		if got := Format(c.n); got != c.want {
+			t.Errorf("Format(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGB(t *testing.T) {
+	if got := GB(5_660_000_000); got != 5.66 {
+		t.Errorf("GB = %v, want 5.66", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Size
+	}{
+		{"512", 512},
+		{"512B", 512},
+		{"4KiB", 4 * KiB},
+		{"2MiB", 2 * MiB},
+		{"1.5GiB", GiB + GiB/2},
+		{"12GB", 12_000_000_000},
+		{" 8 MiB ", 8 * MiB},
+		{"0", 0},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "GiB", "12XB", "-5MiB", "1..2KiB"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}

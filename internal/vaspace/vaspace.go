@@ -1,0 +1,344 @@
+// Package vaspace models the unified virtual address space that UVM
+// provides across the host and the GPU (§2.1): allocations carved into
+// 2 MiB virtual blocks, each with residency, mapping, discard, and
+// preparedness state.
+//
+// Allocations optionally carry backing bytes so that example programs can
+// compute real results through the simulated memory system; the driver
+// zeroes the backing of reclaimed discarded blocks, which makes the paper's
+// §4.1 semantics ("a read after discard returns zeros or some previously
+// written values") directly observable and testable.
+package vaspace
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+)
+
+// Residency says where a block's authoritative data currently lives.
+type Residency int
+
+const (
+	// Untouched blocks have never been populated anywhere; first touch
+	// maps zero-filled memory at the touching processor (§2.2). Reclaimed
+	// discarded blocks also return to this state: their next use observes
+	// zeros.
+	Untouched Residency = iota
+	// CPUResident blocks live in host DRAM.
+	CPUResident
+	// GPUResident blocks live in a GPU chunk (Block.Chunk is non-nil).
+	GPUResident
+)
+
+// String names the residency.
+func (r Residency) String() string {
+	switch r {
+	case Untouched:
+		return "untouched"
+	case CPUResident:
+		return "cpu"
+	case GPUResident:
+		return "gpu"
+	default:
+		return fmt.Sprintf("Residency(%d)", int(r))
+	}
+}
+
+// Preference pins a block's home location (the cudaMemAdvise
+// SetPreferredLocation hint).
+type Preference int
+
+const (
+	// PreferNone lets the fault-driven policy place the block.
+	PreferNone Preference = iota
+	// PreferCPU keeps the block in host DRAM; GPU accesses map it
+	// remotely instead of migrating.
+	PreferCPU
+	// PreferGPU keeps the block in GPU memory; the eviction process
+	// avoids it while other victims exist.
+	PreferGPU
+)
+
+// String names the preference.
+func (p Preference) String() string {
+	switch p {
+	case PreferNone:
+		return "none"
+	case PreferCPU:
+		return "cpu"
+	case PreferGPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("Preference(%d)", int(p))
+	}
+}
+
+// Block is one 2 MiB-aligned virtual block of an allocation — the
+// granularity at which the driver migrates, discards, and evicts (§5.4).
+type Block struct {
+	// Alloc is the owning allocation.
+	Alloc *Alloc
+	// Index is the block's position within the allocation.
+	Index int
+
+	// Residency is where the data lives now.
+	Residency Residency
+	// Chunk is the GPU physical chunk when GPUResident, else nil.
+	Chunk *gpudev.Chunk
+	// GPUIndex identifies which GPU holds Chunk (multi-GPU systems);
+	// meaningful only while GPUResident.
+	GPUIndex int
+	// CPUHasPages reports that host physical pages exist for this block
+	// (counted against host DRAM). They may be the live copy (CPUResident)
+	// or a pinned stale copy kept while the block is GPU-mapped.
+	CPUHasPages bool
+	// CPUPinned reports that the host pages are pinned (they remain
+	// pinned while the block is GPU-mapped, §2.2). Implies CPUHasPages.
+	CPUPinned bool
+	// CPUStale means the pinned host copy predates newer GPU writes; a
+	// D2H migration must actually transfer (it always does in UVM — the
+	// flag exists for bookkeeping and tests).
+	CPUStale bool
+
+	// GPUMapped reports whether GPU PTEs exist for the block. UvmDiscard
+	// eagerly destroys them (§5.1); a later GPU access then faults.
+	GPUMapped bool
+	// CPUMapped reports whether CPU PTEs exist (also destroyed by the
+	// eager discard).
+	CPUMapped bool
+
+	// Discarded is the paper's directive state: the block's contents are
+	// dead and its next transfer may be skipped (§4.1).
+	Discarded bool
+	// LazyDiscard marks that the discard used the UvmDiscardLazy path:
+	// mappings were kept and a software dirty bit was cleared instead
+	// (§5.2). Meaningful only while Discarded.
+	LazyDiscard bool
+
+	// Preferred is the SetPreferredLocation hint for this block.
+	Preferred Preference
+	// ReadMostly is the SetReadMostly hint: the block may be *duplicated*
+	// read-only on both processors so reads are local everywhere. The
+	// block is currently duplicated when it is GPUResident with
+	// CPUHasPages and a non-stale host copy; a write from either side
+	// collapses the duplication.
+	ReadMostly bool
+
+	// RemoteAccesses counts GPU accesses served remotely over a coherent
+	// interconnect since the block last became CPU-resident; the driver's
+	// access-counter policy migrates the block once it crosses a
+	// threshold (§2.3).
+	RemoteAccesses int
+
+	// LivePages, when non-zero, records that a *partial* discard (the
+	// §5.4 ablation) left this many 4 KiB pages of live data in the
+	// block; migrating the block then moves only the live pages but at
+	// 4 KiB DMA granularity, which is far slower per byte.
+	LivePages int
+}
+
+// Bytes returns the block's size: BlockSize except possibly for the final
+// block of an unaligned allocation, which covers only the remainder.
+func (b *Block) Bytes() units.Size {
+	off := units.Size(b.Index) * units.BlockSize
+	rem := b.Alloc.size - off
+	if rem > units.BlockSize {
+		return units.BlockSize
+	}
+	return rem
+}
+
+// VA returns the block's starting virtual address.
+func (b *Block) VA() uint64 {
+	return b.Alloc.base + uint64(b.Index)*uint64(units.BlockSize)
+}
+
+// Alloc is one unified-memory allocation (cudaMallocManaged result).
+type Alloc struct {
+	id     int
+	name   string
+	base   uint64
+	size   units.Size
+	blocks []Block
+	space  *Space
+	freed  bool
+
+	backing []byte // lazily allocated functional payload
+}
+
+// ID returns the allocation's id within its space.
+func (a *Alloc) ID() int { return a.id }
+
+// Name returns the debug name given at allocation.
+func (a *Alloc) Name() string { return a.name }
+
+// Base returns the starting virtual address (2 MiB aligned).
+func (a *Alloc) Base() uint64 { return a.base }
+
+// Size returns the requested size in bytes.
+func (a *Alloc) Size() units.Size { return a.size }
+
+// NumBlocks returns how many 2 MiB blocks cover the allocation.
+func (a *Alloc) NumBlocks() int { return len(a.blocks) }
+
+// Freed reports whether the allocation has been freed.
+func (a *Alloc) Freed() bool { return a.freed }
+
+// Block returns the i'th block.
+func (a *Alloc) Block(i int) *Block { return &a.blocks[i] }
+
+// Blocks returns all blocks of the allocation.
+func (a *Alloc) Blocks() []*Block {
+	out := make([]*Block, len(a.blocks))
+	for i := range a.blocks {
+		out[i] = &a.blocks[i]
+	}
+	return out
+}
+
+// BlockRange returns the blocks covering [off, off+length). When whole is
+// true only blocks *fully* contained in the range are returned — the §5.4
+// rule that discard prefers full 2 MiB regions and ignores partial ones.
+func (a *Alloc) BlockRange(off, length units.Size, whole bool) ([]*Block, error) {
+	if off+length > a.size {
+		return nil, fmt.Errorf("vaspace: range [%d,+%d) outside %s (size %d)",
+			off, length, a.name, a.size)
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	var first, last int // inclusive block indices
+	if whole {
+		firstByte := units.AlignUp(off, units.BlockSize)
+		lastByte := units.AlignDown(off+length, units.BlockSize)
+		// The final partial block of the allocation counts as whole if the
+		// range covers the allocation to its end.
+		if off+length == a.size {
+			lastByte = a.size
+		}
+		if lastByte <= firstByte {
+			return nil, nil
+		}
+		first = int(firstByte / units.BlockSize)
+		last = units.BlocksIn(lastByte) - 1
+	} else {
+		first = int(off / units.BlockSize)
+		last = int((off + length - 1) / units.BlockSize)
+	}
+	out := make([]*Block, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		out = append(out, &a.blocks[i])
+	}
+	return out, nil
+}
+
+// Data returns the allocation's backing bytes, allocating them on first
+// use. Functional example programs read and write through this; the driver
+// zeroes sub-ranges when discarded data is reclaimed.
+func (a *Alloc) Data() []byte {
+	if a.backing == nil {
+		a.backing = make([]byte, a.size)
+	}
+	return a.backing
+}
+
+// HasData reports whether backing bytes were materialized.
+func (a *Alloc) HasData() bool { return a.backing != nil }
+
+// ZeroBlockData zeroes the backing bytes of one block, if backing exists.
+// Called by the driver when a discarded block's physical memory is
+// reclaimed: subsequent reads observe zeros (§4.1).
+func (a *Alloc) ZeroBlockData(idx int) {
+	if a.backing == nil {
+		return
+	}
+	start := units.Size(idx) * units.BlockSize
+	end := start + a.blocks[idx].Bytes()
+	for i := start; i < end; i++ {
+		a.backing[i] = 0
+	}
+}
+
+// Space is a unified virtual address space: an ordered set of allocations.
+type Space struct {
+	nextVA  uint64
+	nextID  int
+	allocs  map[int]*Alloc
+	ordered []*Alloc
+}
+
+// NewSpace returns an empty address space. VAs start above zero so that
+// address 0 is never valid.
+func NewSpace() *Space {
+	return &Space{nextVA: uint64(units.BlockSize), allocs: make(map[int]*Alloc)}
+}
+
+// Alloc reserves size bytes of 2 MiB-aligned virtual address space.
+func (s *Space) Alloc(name string, size units.Size) (*Alloc, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("vaspace: zero-size allocation %q", name)
+	}
+	n := units.BlocksIn(size)
+	a := &Alloc{
+		id:     s.nextID,
+		name:   name,
+		base:   s.nextVA,
+		size:   size,
+		blocks: make([]Block, n),
+		space:  s,
+	}
+	for i := range a.blocks {
+		a.blocks[i].Alloc = a
+		a.blocks[i].Index = i
+	}
+	s.nextID++
+	s.nextVA += uint64(units.AlignUp(size, units.BlockSize))
+	s.allocs[a.id] = a
+	s.ordered = append(s.ordered, a)
+	return a, nil
+}
+
+// Free marks an allocation freed and forgets it. The caller (the driver) is
+// responsible for first releasing physical resources.
+func (s *Space) Free(a *Alloc) error {
+	if a.freed {
+		return fmt.Errorf("vaspace: double free of %s", a.name)
+	}
+	a.freed = true
+	delete(s.allocs, a.id)
+	for i, x := range s.ordered {
+		if x == a {
+			s.ordered = append(s.ordered[:i], s.ordered[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Lookup finds the allocation containing virtual address va, or nil.
+func (s *Space) Lookup(va uint64) *Alloc {
+	i := sort.Search(len(s.ordered), func(i int) bool {
+		a := s.ordered[i]
+		return va < a.base+uint64(units.AlignUp(a.size, units.BlockSize))
+	})
+	if i < len(s.ordered) {
+		a := s.ordered[i]
+		if va >= a.base && va < a.base+uint64(a.size) {
+			return a
+		}
+	}
+	return nil
+}
+
+// ByID returns the live allocation with the given id, or nil.
+func (s *Space) ByID(id int) *Alloc { return s.allocs[id] }
+
+// Live returns all live allocations in allocation order.
+func (s *Space) Live() []*Alloc {
+	out := make([]*Alloc, len(s.ordered))
+	copy(out, s.ordered)
+	return out
+}

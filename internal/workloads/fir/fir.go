@@ -1,0 +1,121 @@
+// Package fir models the paper's FIR micro-benchmark (§7.2): a finite
+// impulse response filter streaming over a large input buffer in windows.
+// Each iteration prefetches one window of host data to the GPU, runs the
+// filter kernel over it, and writes the corresponding output window. The
+// input window is dead as soon as the kernel finishes — the discard target.
+//
+// Traffic structure this produces (Table 4): the input (5.66 GB) is always
+// prefetched H2D. Under oversubscription, UVM-opt evicts consumed input
+// windows and freshly written output windows D2H as new windows arrive —
+// the input portion of that eviction traffic is entirely redundant. The
+// discard directive routes consumed windows to the discarded queue, which
+// the eviction process drains for free; only live output spills remain.
+package fir
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+// Config sizes the benchmark. The zero value is invalid; use DefaultConfig.
+type Config struct {
+	// InputBytes is the total filter input; the paper streams 5.66 GB.
+	InputBytes units.Size
+	// WindowBytes is the sliding-window granularity.
+	WindowBytes units.Size
+	// FilterRate is the kernel's effective processing rate in input
+	// bytes/second when all data is local (compute time per window =
+	// WindowBytes / FilterRate).
+	FilterRate float64
+}
+
+// DefaultConfig reproduces the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		InputBytes:  5_660_000_000,
+		WindowBytes: 256 * units.MiB,
+		FilterRate:  28e9,
+	}
+}
+
+// Footprint returns the application's GPU memory consumption: the input
+// plus the equally sized output, which is produced on the GPU.
+func (c Config) Footprint() units.Size {
+	return 2 * units.AlignUp(c.InputBytes, units.BlockSize)
+}
+
+// Run executes FIR under the given system and platform and reports runtime
+// and traffic.
+func Run(p workloads.Platform, sys workloads.System, cfg Config) (workloads.Result, error) {
+	if sys == workloads.NoUVM || sys == workloads.PyTorchLMS {
+		return workloads.Result{}, fmt.Errorf("fir: system %v not part of the paper's FIR evaluation", sys)
+	}
+	if cfg.WindowBytes == 0 || cfg.InputBytes == 0 || cfg.FilterRate <= 0 {
+		return workloads.Result{}, fmt.Errorf("fir: invalid config %+v", cfg)
+	}
+	ctx, err := p.NewContext(cfg.Footprint())
+	if err != nil {
+		return workloads.Result{}, err
+	}
+
+	in, err := ctx.MallocManaged("fir-in", cfg.InputBytes)
+	if err != nil {
+		return workloads.Result{}, err
+	}
+	out, err := ctx.MallocManaged("fir-out", cfg.InputBytes)
+	if err != nil {
+		return workloads.Result{}, err
+	}
+	// The host generates the full input signal. This pre-processing is
+	// excluded from the measured runtime.
+	if err := in.HostWrite(0, in.Size()); err != nil {
+		return workloads.Result{}, err
+	}
+	start := ctx.Elapsed()
+
+	copyStream := ctx.Stream("copy")
+	computeStream := ctx.Stream("compute")
+
+	for off := units.Size(0); off < cfg.InputBytes; off += cfg.WindowBytes {
+		win := cfg.WindowBytes
+		if off+win > cfg.InputBytes {
+			win = cfg.InputBytes - off
+		}
+		// Prefetch the next input window and prefault the output window on
+		// the copy stream — this is the overlap the "-opt" baseline uses.
+		if err := copyStream.MemPrefetchAsync(in, off, win, cuda.ToGPU); err != nil {
+			return workloads.Result{}, err
+		}
+		if err := copyStream.MemPrefetchAsync(out, off, win, cuda.ToGPU); err != nil {
+			return workloads.Result{}, err
+		}
+		ready := ctx.NewEvent()
+		copyStream.RecordEvent(ready)
+		computeStream.WaitEvent(ready)
+
+		err := computeStream.Launch(cuda.Kernel{
+			Name:    "fir",
+			Compute: sim.TransferTime(uint64(win), cfg.FilterRate),
+			Accesses: []cuda.Access{
+				{Buf: in, Offset: off, Length: win, Mode: core.Read},
+				{Buf: out, Offset: off, Length: win, Mode: core.Write},
+			},
+		})
+		if err != nil {
+			return workloads.Result{}, err
+		}
+		// The consumed window is dead: discard it (stream-ordered after
+		// the kernel, §4.2). FIR's windows are never reused, so the lazy
+		// flavor needs no pairing prefetch.
+		if err := workloads.DiscardRange(sys, computeStream, in, off, win); err != nil {
+			return workloads.Result{}, err
+		}
+	}
+	ctx.DeviceSynchronize()
+	return workloads.CollectSince(sys, ctx, start), nil
+}

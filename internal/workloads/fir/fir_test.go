@@ -1,0 +1,126 @@
+package fir
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+// smallConfig keeps tests fast: 512 MiB input, 64 MiB windows.
+func smallConfig() Config {
+	return Config{
+		InputBytes:  512 * units.MiB,
+		WindowBytes: 64 * units.MiB,
+		FilterRate:  28e9,
+	}
+}
+
+func platform(ovsp int) workloads.Platform {
+	return workloads.Platform{
+		GPU:            gpudev.Generic(1536 * units.MiB),
+		Gen:            pcie.Gen4,
+		OversubPercent: ovsp,
+	}
+}
+
+func run(t *testing.T, sys workloads.System, ovsp int) workloads.Result {
+	t.Helper()
+	r, err := Run(platform(ovsp), sys, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFitsTrafficIsInputOnly(t *testing.T) {
+	// When everything fits, traffic is exactly the input prefetch.
+	for _, sys := range []workloads.System{workloads.UVMOpt, workloads.UvmDiscard, workloads.UvmDiscardLazy} {
+		r := run(t, sys, 0)
+		if r.TrafficBytes != uint64(512*units.MiB) {
+			t.Errorf("%v: traffic = %.3f GB, want input only (%.3f GB)",
+				sys, r.TrafficGB(), float64(512*units.MiB)/1e9)
+		}
+		if r.D2HBytes != 0 {
+			t.Errorf("%v: D2H = %d when fitting", sys, r.D2HBytes)
+		}
+	}
+}
+
+func TestOversubscriptionShape(t *testing.T) {
+	// Table 3/4 shape: under oversubscription the discard systems move
+	// far less data and finish faster; the gap narrows as pressure grows.
+	type row struct{ base, disc workloads.Result }
+	rows := map[int]row{}
+	for _, ovsp := range []int{200, 300, 400} {
+		rows[ovsp] = row{
+			base: run(t, workloads.UVMOpt, ovsp),
+			disc: run(t, workloads.UvmDiscard, ovsp),
+		}
+	}
+	for ovsp, r := range rows {
+		if r.disc.TrafficBytes >= r.base.TrafficBytes {
+			t.Errorf("%d%%: discard traffic %.2f GB >= baseline %.2f GB",
+				ovsp, r.disc.TrafficGB(), r.base.TrafficGB())
+		}
+		if r.disc.Runtime >= r.base.Runtime {
+			t.Errorf("%d%%: discard runtime %v >= baseline %v",
+				ovsp, r.disc.Runtime, r.base.Runtime)
+		}
+		if r.disc.SavedD2H == 0 {
+			t.Errorf("%d%%: no saved D2H", ovsp)
+		}
+	}
+	// Baseline traffic grows with oversubscription.
+	if !(rows[200].base.TrafficBytes < rows[300].base.TrafficBytes &&
+		rows[300].base.TrafficBytes < rows[400].base.TrafficBytes) {
+		t.Errorf("baseline traffic not monotone: %v %v %v",
+			rows[200].base.TrafficGB(), rows[300].base.TrafficGB(), rows[400].base.TrafficGB())
+	}
+	// Discard traffic also grows (live output spills increase).
+	if !(rows[200].disc.TrafficBytes < rows[300].disc.TrafficBytes &&
+		rows[300].disc.TrafficBytes < rows[400].disc.TrafficBytes) {
+		t.Errorf("discard traffic not monotone: %v %v %v",
+			rows[200].disc.TrafficGB(), rows[300].disc.TrafficGB(), rows[400].disc.TrafficGB())
+	}
+	// The relative benefit shrinks at higher pressure (0.51 -> 0.71 in
+	// Table 3): the runtime ratio at 400% exceeds the ratio at 200%.
+	ratio := func(r row) float64 { return float64(r.disc.Runtime) / float64(r.base.Runtime) }
+	if !(ratio(rows[200]) < ratio(rows[400])) {
+		t.Errorf("benefit should shrink with pressure: ratios %.2f (200%%) vs %.2f (400%%)",
+			ratio(rows[200]), ratio(rows[400]))
+	}
+}
+
+func TestLazyMatchesEagerWhenOversubscribed(t *testing.T) {
+	// Table 4: both flavors eliminate the same transfers.
+	eager := run(t, workloads.UvmDiscard, 200)
+	lazy := run(t, workloads.UvmDiscardLazy, 200)
+	if eager.TrafficBytes != lazy.TrafficBytes {
+		t.Errorf("traffic differs: eager %.3f GB vs lazy %.3f GB",
+			eager.TrafficGB(), lazy.TrafficGB())
+	}
+}
+
+func TestUnsupportedSystems(t *testing.T) {
+	for _, sys := range []workloads.System{workloads.NoUVM, workloads.PyTorchLMS} {
+		if _, err := Run(platform(0), sys, smallConfig()); err == nil {
+			t.Errorf("%v accepted", sys)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := Run(platform(0), workloads.UVMOpt, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := smallConfig()
+	if c.Footprint() != 1024*units.MiB {
+		t.Errorf("footprint = %s", units.Format(c.Footprint()))
+	}
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+func smallConfig() Config {
+	return Config{
+		EdgeBytes:   512 * units.MiB,
+		VertexBytes: 16 * units.MiB,
+		LevelFractions: []float64{
+			0.002, 0.02, 0.10, 0.25, 0.30, 0.20, 0.08, 0.03, 0.01,
+		},
+		ScanRate: 120e9,
+	}
+}
+
+func platform() workloads.Platform {
+	p := workloads.DefaultPlatform()
+	p.GPU = gpudev.Generic(384 * units.MiB) // edges stream past capacity
+	return p
+}
+
+func TestUVMOptPaysDeadEdgeEvictions(t *testing.T) {
+	r, err := Run(platform(), workloads.UVMOpt, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EvictD2H == 0 {
+		t.Error("expected eviction D2H of exhausted (read-only) edge partitions")
+	}
+}
+
+func TestDiscardEliminatesEdgeEvictions(t *testing.T) {
+	base, err := Run(platform(), workloads.UVMOpt, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := Run(platform(), workloads.UvmDiscard, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.D2HBytes != 0 {
+		t.Errorf("discard left %d D2H bytes", disc.D2HBytes)
+	}
+	if disc.TrafficBytes >= base.TrafficBytes {
+		t.Error("discard did not reduce traffic")
+	}
+	if disc.Runtime >= base.Runtime {
+		t.Error("discard did not reduce runtime")
+	}
+	if disc.SavedD2H == 0 {
+		t.Error("no savings recorded")
+	}
+}
+
+// The read-mostly hint achieves the same elimination without deadness
+// knowledge: clean duplicated pages evict for free.
+func TestReadMostlyMatchesDiscard(t *testing.T) {
+	cfgRM := smallConfig()
+	cfgRM.ReadMostlyEdges = true
+	rm, err := Run(platform(), workloads.UvmDiscard, cfgRM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := Run(platform(), workloads.UvmDiscard, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.H2DBytes != disc.H2DBytes {
+		t.Errorf("H2D differs: %d vs %d", rm.H2DBytes, disc.H2DBytes)
+	}
+	if rm.D2HBytes != 0 {
+		t.Errorf("read-mostly left %d D2H bytes", rm.D2HBytes)
+	}
+}
+
+func TestLazyVariant(t *testing.T) {
+	lazy, err := Run(platform(), workloads.UvmDiscardLazy, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.D2HBytes != 0 {
+		t.Errorf("lazy left %d D2H bytes", lazy.D2HBytes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(platform(), workloads.NoUVM, smallConfig()); err == nil {
+		t.Error("No-UVM accepted")
+	}
+	bad := smallConfig()
+	bad.LevelFractions = []float64{1.5}
+	if _, err := Run(platform(), workloads.UVMOpt, bad); err == nil {
+		t.Error("out-of-range fraction accepted")
+	}
+	if _, err := Run(platform(), workloads.UVMOpt, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := smallConfig()
+	want := units.Size(512*units.MiB) + 4*units.Size(16*units.MiB)
+	if c.Footprint() != want {
+		t.Errorf("footprint = %d, want %d", c.Footprint(), want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(platform(), workloads.UvmDiscard, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(platform(), workloads.UvmDiscard, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrafficBytes != b.TrafficBytes || a.Runtime != b.Runtime {
+		t.Error("graph runs are not deterministic")
+	}
+}

@@ -1,0 +1,131 @@
+package hashjoin
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+// smallConfig scales the paper's layout down ~10x for fast tests,
+// preserving the proportions (live working sets just fit at 200%).
+func smallConfig() Config {
+	return Config{
+		TableBytes:        24 * units.MiB,
+		IntermediateBytes: 80 * units.MiB,
+		WorkspaceBytes:    110 * units.MiB,
+		ResultBytes:       104 * units.MiB,
+		Joins:             2,
+		Batches:           3,
+		Rate:              60e9,
+	}
+}
+
+func platform(ovsp int) workloads.Platform {
+	return workloads.Platform{
+		GPU:            gpudev.Generic(600 * units.MiB),
+		Gen:            pcie.Gen4,
+		OversubPercent: ovsp,
+	}
+}
+
+func run(t *testing.T, sys workloads.System, ovsp int) workloads.Result {
+	t.Helper()
+	r, err := Run(platform(ovsp), sys, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFitsTrafficIsTableLoadsOnly(t *testing.T) {
+	want := uint64(2 * 3 * 2 * 24 * units.MiB) // joins * batches * 2 tables
+	for _, sys := range []workloads.System{workloads.UVMOpt, workloads.UvmDiscard, workloads.UvmDiscardLazy} {
+		r := run(t, sys, 0)
+		if r.TrafficBytes != want {
+			t.Errorf("%v: traffic = %.3f GB, want %.3f GB (table loads only)",
+				sys, r.TrafficGB(), float64(want)/1e9)
+		}
+	}
+}
+
+// Table 7's headline: the big win at 200% oversubscription — most traffic
+// is dead-buffer ping-pong that discard eliminates.
+func TestBigWinAt200(t *testing.T) {
+	base := run(t, workloads.UVMOpt, 200)
+	disc := run(t, workloads.UvmDiscard, 200)
+	if disc.Runtime*2 >= base.Runtime {
+		t.Errorf("expected >=2x speedup at 200%%: %v vs %v (ratio %.2f)",
+			disc.Runtime, base.Runtime, float64(disc.Runtime)/float64(base.Runtime))
+	}
+	reduction := 1 - float64(disc.TrafficBytes)/float64(base.TrafficBytes)
+	if reduction < 0.6 {
+		t.Errorf("expected most transfers eliminated at 200%%, got %.0f%%", 100*reduction)
+	}
+	if disc.SavedD2H == 0 {
+		t.Error("no saved D2H recorded")
+	}
+}
+
+// The benefit shrinks as thrashing takes over (Table 7: 0.24 -> 0.51 ->
+// 0.86).
+func TestBenefitShrinksWithPressure(t *testing.T) {
+	ratios := map[int]float64{}
+	for _, ovsp := range []int{200, 300, 400} {
+		base := run(t, workloads.UVMOpt, ovsp)
+		disc := run(t, workloads.UvmDiscard, ovsp)
+		ratios[ovsp] = float64(disc.Runtime) / float64(base.Runtime)
+	}
+	if !(ratios[200] < ratios[300] && ratios[300] <= ratios[400]+0.02) {
+		t.Errorf("ratios should grow with pressure: %.2f %.2f %.2f",
+			ratios[200], ratios[300], ratios[400])
+	}
+}
+
+// Both flavors carry some overhead at <100% here because not every discard
+// can be replaced by the lazy one (the workspaces have no pairing
+// prefetch), but lazy still alleviates it (Table 7: 1.05 vs 1.02).
+func TestLazyAlleviatesOverheadWhenFitting(t *testing.T) {
+	base := run(t, workloads.UVMOpt, 0)
+	eager := run(t, workloads.UvmDiscard, 0)
+	lazy := run(t, workloads.UvmDiscardLazy, 0)
+	if !(base.Runtime <= lazy.Runtime && lazy.Runtime < eager.Runtime) {
+		t.Errorf("want base <= lazy < eager, got %v / %v / %v",
+			base.Runtime, lazy.Runtime, eager.Runtime)
+	}
+}
+
+func TestUnsupportedSystems(t *testing.T) {
+	for _, sys := range []workloads.System{workloads.NoUVM, workloads.PyTorchLMS} {
+		if _, err := Run(platform(0), sys, smallConfig()); err == nil {
+			t.Errorf("%v accepted", sys)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	bad := smallConfig()
+	bad.Joins = 0
+	if _, err := Run(platform(0), workloads.UVMOpt, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := smallConfig()
+	want := 2*units.Size(24*units.MiB) + 2*units.Size(80*units.MiB) +
+		2*units.Size(110*units.MiB) + units.Size(104*units.MiB)
+	if c.Footprint() != want {
+		t.Errorf("footprint = %s, want %s", units.Format(c.Footprint()), units.Format(want))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, workloads.UvmDiscard, 300)
+	b := run(t, workloads.UvmDiscard, 300)
+	if a.TrafficBytes != b.TrafficBytes || a.Runtime != b.Runtime {
+		t.Error("hash join runs are not deterministic")
+	}
+}

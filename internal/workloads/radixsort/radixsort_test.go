@@ -1,0 +1,136 @@
+package radixsort
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+)
+
+func smallConfig() Config {
+	return Config{
+		DataBytes:  256 * units.MiB,
+		Rounds:     4,
+		Passes:     2,
+		StripBytes: 32 * units.MiB,
+		SortRate:   350e9,
+	}
+}
+
+func platform(ovsp int) workloads.Platform {
+	return workloads.Platform{
+		GPU:            gpudev.Generic(768 * units.MiB),
+		Gen:            pcie.Gen4,
+		OversubPercent: ovsp,
+	}
+}
+
+func run(t *testing.T, sys workloads.System, ovsp int) workloads.Result {
+	t.Helper()
+	r, err := Run(platform(ovsp), sys, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFitsTrafficIsInputOnly(t *testing.T) {
+	for _, sys := range []workloads.System{workloads.UVMOpt, workloads.UvmDiscard, workloads.UvmDiscardLazy} {
+		r := run(t, sys, 0)
+		if r.TrafficBytes != uint64(256*units.MiB) {
+			t.Errorf("%v: traffic = %.3f GB, want input only", sys, r.TrafficGB())
+		}
+	}
+}
+
+// Table 5's headline at <100%: eager discard slows the sort down via
+// unnecessary unmap/remap, lazy does not.
+func TestEagerOverheadWhenFitting(t *testing.T) {
+	base := run(t, workloads.UVMOpt, 0)
+	eager := run(t, workloads.UvmDiscard, 0)
+	lazy := run(t, workloads.UvmDiscardLazy, 0)
+	if eager.Runtime <= base.Runtime {
+		t.Errorf("eager discard should cost time when fitting: %v <= %v",
+			eager.Runtime, base.Runtime)
+	}
+	lazyRatio := float64(lazy.Runtime) / float64(base.Runtime)
+	eagerRatio := float64(eager.Runtime) / float64(base.Runtime)
+	if lazyRatio >= eagerRatio {
+		t.Errorf("lazy ratio %.3f should beat eager ratio %.3f", lazyRatio, eagerRatio)
+	}
+	if lazyRatio > 1.05 {
+		t.Errorf("lazy overhead should be negligible, got %.3f", lazyRatio)
+	}
+}
+
+// Thrashing dominates under oversubscription: traffic is a large multiple
+// of the data size for every system, and discard's relative benefit is
+// modest and shrinks with pressure (Table 5: 0.87 -> 0.95 -> 0.97).
+func TestThrashingShape(t *testing.T) {
+	type pair struct{ base, disc workloads.Result }
+	rows := map[int]pair{}
+	for _, ovsp := range []int{200, 300, 400} {
+		rows[ovsp] = pair{
+			base: run(t, workloads.UVMOpt, ovsp),
+			disc: run(t, workloads.UvmDiscard, ovsp),
+		}
+	}
+	data := uint64(smallConfig().DataBytes)
+	for ovsp, r := range rows {
+		if r.base.TrafficBytes < 10*data {
+			t.Errorf("%d%%: expected heavy thrashing, traffic only %.1fx data",
+				ovsp, float64(r.base.TrafficBytes)/float64(data))
+		}
+		if r.disc.TrafficBytes >= r.base.TrafficBytes {
+			t.Errorf("%d%%: discard did not reduce traffic", ovsp)
+		}
+		ratio := float64(r.disc.Runtime) / float64(r.base.Runtime)
+		if ratio < 0.5 || ratio >= 1.0 {
+			t.Errorf("%d%%: discard benefit should be modest, ratio %.2f", ovsp, ratio)
+		}
+	}
+	// The benefit shrinks (or at least does not grow materially) with
+	// pressure; small-scale runs are noisy, so allow 2% slack.
+	ratio := func(p pair) float64 { return float64(p.disc.Runtime) / float64(p.base.Runtime) }
+	if ratio(rows[200]) > ratio(rows[400])+0.02 {
+		t.Errorf("benefit should shrink with pressure: %.2f (200%%) vs %.2f (400%%)",
+			ratio(rows[200]), ratio(rows[400]))
+	}
+}
+
+// Under oversubscription the lazy system cannot use its pairing prefetch,
+// so it falls back to eager discards and matches them exactly (§7.1).
+func TestLazyFallsBackToEagerWhenOversubscribed(t *testing.T) {
+	eager := run(t, workloads.UvmDiscard, 200)
+	lazy := run(t, workloads.UvmDiscardLazy, 200)
+	if eager.TrafficBytes != lazy.TrafficBytes || eager.Runtime != lazy.Runtime {
+		t.Errorf("lazy should equal eager when oversubscribed: %.2f/%v vs %.2f/%v",
+			eager.TrafficGB(), eager.Runtime, lazy.TrafficGB(), lazy.Runtime)
+	}
+}
+
+func TestUnsupportedSystems(t *testing.T) {
+	for _, sys := range []workloads.System{workloads.NoUVM, workloads.PyTorchLMS} {
+		if _, err := Run(platform(0), sys, smallConfig()); err == nil {
+			t.Errorf("%v accepted", sys)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	bad := smallConfig()
+	bad.Rounds = 0
+	if _, err := Run(platform(0), workloads.UVMOpt, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, workloads.UVMOpt, 200)
+	b := run(t, workloads.UVMOpt, 200)
+	if a.TrafficBytes != b.TrafficBytes || a.Runtime != b.Runtime {
+		t.Error("radix sort runs are not deterministic")
+	}
+}
