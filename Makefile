@@ -2,13 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench examples repro csv clean
+.PHONY: all build test test-short test-race bench examples repro csv ci clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Full suite under the race detector — the gate on the parallel experiment
+# runner's concurrency claims.
+test-race:
+	$(GO) test -race ./...
+
+# Everything CI runs (.github/workflows/ci.yml mirrors this target).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 # Full suite, including the full-scale reproduction gates (~1 min).
 test:

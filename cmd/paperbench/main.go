@@ -7,8 +7,14 @@
 //	paperbench -run T3,T4      # only the FIR tables
 //	paperbench -run fir-runtime
 //	paperbench -quick          # scaled-down sizes (seconds instead of minutes)
+//	paperbench -j 8            # run experiments across 8 workers
 //	paperbench -list           # list available experiments
 //	paperbench -o results.txt  # also write the output to a file
+//
+// Experiments execute across -j worker goroutines (default: all CPUs), but
+// tables are always emitted on stdout in deterministic artifact order, so
+// the output bytes are identical whatever the parallelism. Per-experiment
+// progress and wall-time lines stream to stderr as runs finish.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +38,7 @@ func main() {
 		out    = flag.String("o", "", "also write results to this file")
 		csvDir = flag.String("csv", "", "also write each table as <dir>/<id>.csv for plotting")
 		chart  = flag.Bool("chart", false, "render figure experiments as terminal bar charts")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "run experiments across this many workers")
 	)
 	flag.Parse()
 
@@ -74,20 +82,32 @@ func main() {
 	}
 	opts := experiments.Options{Quick: *quick}
 	fmt.Fprintf(w, "uvmdiscard paperbench — reproducing IISWC'22 \"UVM Discard\" (quick=%v)\n\n", *quick)
-	for _, e := range selected {
-		started := time.Now()
-		tbl, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+
+	started := time.Now()
+	done := 0
+	results := experiments.RunAll(selected, opts, *jobs, func(r experiments.RunResult) {
+		done++
+		status := "ok"
+		if r.Err != nil {
+			status = "FAILED"
 		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %-4s %-28s %s (%v)\n",
+			done, len(selected), r.Experiment.ID, r.Experiment.Name,
+			status, r.Wall.Round(time.Millisecond))
+	})
+
+	// Emit tables in selection order: output bytes are independent of -j.
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		tbl := r.Table
 		fmt.Fprintln(w, tbl.String())
 		if *chart && strings.HasPrefix(tbl.ID, "F") {
 			if col := tbl.DefaultChartColumn(); col > 0 {
 				fmt.Fprintln(w, tbl.Chart(col, 40))
 			}
 		}
-		fmt.Fprintf(w, "  (%s ran in %v wall time)\n\n", e.ID, time.Since(started).Round(time.Millisecond))
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, tbl.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
@@ -95,5 +115,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	fmt.Fprintf(os.Stderr, "paperbench: %d experiments in %v wall time (-j %d)\n",
+		len(selected), time.Since(started).Round(time.Millisecond), *jobs)
+
+	// Failures are reported together at the end; a broken experiment never
+	// silences the rest of the run.
+	if failed := experiments.Failed(results); len(failed) > 0 {
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "paperbench: %s failed: %v\n", r.Experiment.ID, r.Err)
+		}
+		os.Exit(1)
 	}
 }

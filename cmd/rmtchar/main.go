@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"uvmdiscard/internal/dnn"
 	"uvmdiscard/internal/gpudev"
@@ -39,6 +41,7 @@ func main() {
 		ovsp     = flag.Int("ovsp", 200, "oversubscription percent for the micro-benchmarks")
 		model    = flag.String("model", "resnet53", "dl model")
 		batches  = flag.String("batches", "30,56,85,115,150", "dl batch sweep")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "run independent sweep points across this many workers")
 	)
 	flag.Parse()
 
@@ -61,19 +64,31 @@ func main() {
 			fail(fmt.Errorf("unknown model %q", *model))
 		}
 		spec := m()
+		var bs []int
+		for _, s := range strings.Split(*batches, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fail(err)
+			}
+			bs = append(bs, b)
+		}
 		fmt.Printf("RMT characterization: %s training under %v (cf. Figure 3)\n\n", spec.Name, sys)
 		fmt.Printf("%-8s %-12s %-12s %-12s %-12s %s\n",
 			"batch", "total GB", "required", "redundant", "redundant%", "transfers")
-		for _, bs := range strings.Split(*batches, ",") {
-			b, err := strconv.Atoi(strings.TrimSpace(bs))
-			if err != nil {
-				fail(err)
+		// Each batch size is an independent configuration with its own
+		// context and model spec (dnn.Train never mutates the spec), so the
+		// sweep fans out across workers; rows print in sweep order.
+		results := make([]workloads.Result, len(bs))
+		errs := make([]error, len(bs))
+		sweep(len(bs), *jobs, func(i int) {
+			r, err := dnn.Train(p, sys, dnn.TrainConfig{Model: spec, Batch: bs[i]})
+			results[i], errs[i] = r.Result, err
+		})
+		for i, b := range bs {
+			if errs[i] != nil {
+				fail(errs[i])
 			}
-			r, err := dnn.Train(p, sys, dnn.TrainConfig{Model: spec, Batch: b})
-			if err != nil {
-				fail(err)
-			}
-			printRow(fmt.Sprintf("%d", b), r.Result)
+			printRow(fmt.Sprintf("%d", b), results[i])
 		}
 	case "fir":
 		p.OversubPercent = *ovsp
@@ -102,6 +117,33 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown workload %q", *workload))
 	}
+}
+
+// sweep runs fn(0..n-1) across up to parallelism worker goroutines and
+// waits for all of them.
+func sweep(n, parallelism int, fn func(i int)) {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 func header(sys workloads.System, ovsp int) {

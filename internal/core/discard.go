@@ -43,7 +43,7 @@ func (d *Driver) discard(a *vaspace.Alloc, off, length uint64, now sim.Time, laz
 		}
 	}
 	if d.p.AllowPartialDiscard {
-		cur = d.discardPartialEdges(a, off, length, cur)
+		cur = d.discardPartialEdges(a, off, length, cur, lazy)
 	}
 	d.m.AddDiscard(covered)
 	return cur, nil
@@ -103,8 +103,10 @@ func (d *Driver) discardBlock(b *vaspace.Block, now sim.Time, lazy bool) (sim.Ti
 // discardPartialEdges handles the partially covered head/tail blocks of a
 // range under the AllowPartialDiscard ablation: the block's 2 MiB mapping
 // is split and only the live remainder will migrate (slowly, at 4 KiB
-// granularity) from now on.
-func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now sim.Time) sim.Time {
+// granularity) from now on. The caller's lazy flag carries through: when
+// accumulated partial discards kill a whole block, a DiscardLazy call must
+// still defer the unmap to reclamation rather than paying it eagerly.
+func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now sim.Time, lazy bool) sim.Time {
 	blocks, err := a.BlockRange(off, length, false)
 	if err != nil || len(blocks) == 0 {
 		return now
@@ -139,7 +141,7 @@ func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now s
 		d.m.AddMap(1)
 		if live == 0 {
 			// The whole block ended up dead across partial discards.
-			cur, _ = d.discardBlock(b, cur, false)
+			cur, _ = d.discardBlock(b, cur, lazy)
 		} else {
 			b.LivePages = live
 		}

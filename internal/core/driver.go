@@ -70,7 +70,7 @@ type Driver struct {
 	peer *sim.Engine
 
 	deviceAllocBytes units.Size // non-UVM cudaMalloc'd bytes (chunks held)
-	deviceChunks     []*gpudev.Chunk
+	deviceChunks     map[*gpudev.Chunk]struct{}
 }
 
 // New builds a driver.
@@ -127,8 +127,9 @@ func New(cfg Config) (*Driver, error) {
 		tr:       cfg.Trace,
 		p:        p,
 		costs:    costs,
-		dma:      sim.NewEngine("dma"),
-		peer:     sim.NewEngine("peer-fabric"),
+		dma:          sim.NewEngine("dma"),
+		peer:         sim.NewEngine("peer-fabric"),
+		deviceChunks: make(map[*gpudev.Chunk]struct{}),
 	}, nil
 }
 
@@ -232,21 +233,24 @@ func (d *Driver) MallocDevice(size units.Size) ([]*gpudev.Chunk, error) {
 		chunks[i] = c
 	}
 	d.deviceAllocBytes += units.Size(n) * units.BlockSize
-	d.deviceChunks = append(d.deviceChunks, chunks...)
+	for _, c := range chunks {
+		d.deviceChunks[c] = struct{}{}
+	}
 	return chunks, nil
 }
 
-// FreeDevice returns cudaMalloc'd chunks to the free queue.
+// FreeDevice returns cudaMalloc'd chunks to the free queue. Chunks that are
+// not currently tracked as device allocations — a double free, or a chunk
+// that never came from MallocDevice — are ignored: pushing them would
+// corrupt the free queue and underflow the byte counter.
 func (d *Driver) FreeDevice(chunks []*gpudev.Chunk) {
 	for _, c := range chunks {
+		if _, tracked := d.deviceChunks[c]; !tracked {
+			continue
+		}
+		delete(d.deviceChunks, c)
 		d.devs[0].PushFree(c)
 		d.deviceAllocBytes -= units.BlockSize
-		for i, dc := range d.deviceChunks {
-			if dc == c {
-				d.deviceChunks = append(d.deviceChunks[:i], d.deviceChunks[i+1:]...)
-				break
-			}
-		}
 	}
 }
 

@@ -138,6 +138,12 @@ func (d *Driver) evictUsed(c *gpudev.Chunk, now sim.Time) sim.Time {
 	}
 
 	bytes, xfer := d.migrationCost(vb)
+	if dead := vb.Bytes() - bytes; dead > 0 {
+		// A partial discard (§5.4) left only LivePages of the block live:
+		// the dead remainder never crosses the link, which is exactly the
+		// "saved by discard" D2H traffic the ablation reports.
+		d.m.AddSaved(metrics.D2H, uint64(dead))
+	}
 	cur := now + dev.Profile().UnmapPerBlock
 	d.m.AddUnmap(1)
 	_, cur = d.dma.Reserve(cur, xfer)

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RunResult is the outcome of one experiment executed by RunAll.
+type RunResult struct {
+	// Experiment is the experiment that ran.
+	Experiment Experiment
+	// Index is the experiment's position in the selection passed to RunAll;
+	// results are returned sorted by it, so rendering the tables in result
+	// order reproduces the serial output byte for byte.
+	Index int
+	// Table is the rendered result; nil when Err is set.
+	Table *Table
+	// Err is the experiment's error, or a captured panic (with its stack).
+	// A failure never aborts the other experiments.
+	Err error
+	// Wall is how long the experiment took on its worker goroutine.
+	Wall time.Duration
+}
+
+// RunAll executes the selected experiments across a pool of parallelism
+// worker goroutines (values < 1 mean runtime.GOMAXPROCS(0)) and returns one
+// RunResult per experiment, in selection order regardless of completion
+// order.
+//
+// Isolation rules (what makes this safe — and what any new experiment must
+// preserve):
+//
+//   - Every Experiment.Run builds its own core.Driver, metrics.Collector,
+//     trace.Recorder, and sim.RNG. Nothing run-scoped may live in a
+//     package-level variable.
+//   - Package-level data in this package (the registry, paper reference
+//     tables, column layouts) is written only during init and treated as
+//     read-only afterwards.
+//   - Options is passed by value; experiments must not mutate shared
+//     pointers reached through it.
+//
+// A panic inside an experiment is recovered and reported as that
+// experiment's Err, stack attached; the remaining experiments keep running.
+//
+// The optional progress callback is invoked once per experiment as it
+// finishes, in completion order (not selection order), serialized by an
+// internal mutex so callers may print from it without further locking.
+func RunAll(selected []Experiment, opts Options, parallelism int, progress func(RunResult)) []RunResult {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(selected) {
+		parallelism = len(selected)
+	}
+	results := make([]RunResult, len(selected))
+	if len(selected) == 0 {
+		return results
+	}
+
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+	)
+	jobs := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := runOne(selected[i], opts)
+				r.Index = i
+				results[i] = r
+				if progress != nil {
+					progressMu.Lock()
+					progress(r)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range selected {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single experiment, converting a panic into an error
+// carrying the goroutine stack so one broken experiment cannot take down
+// the whole run.
+func runOne(e Experiment, opts Options) (r RunResult) {
+	r.Experiment = e
+	started := time.Now()
+	defer func() {
+		r.Wall = time.Since(started)
+		if p := recover(); p != nil {
+			r.Table = nil
+			r.Err = fmt.Errorf("experiment %s (%s) panicked: %v\n%s", e.ID, e.Name, p, debug.Stack())
+		}
+	}()
+	r.Table, r.Err = e.Run(opts)
+	return r
+}
+
+// Failed filters the results down to those that errored (or panicked).
+func Failed(results []RunResult) []RunResult {
+	var out []RunResult
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
@@ -108,7 +109,14 @@ func (s EvictSource) String() string {
 
 // Collector accumulates counters for one simulation run. The zero value is
 // ready to use.
+//
+// A Collector is safe for concurrent use: every method takes an internal
+// mutex, so a progress reporter may call the getters (or Snapshot) while
+// the run that owns the collector is still adding to it. The parallel
+// experiment runner relies on this; see internal/experiments.
 type Collector struct {
+	mu sync.Mutex
+
 	bytes    [numDirections][numCauses]uint64
 	ops      [numDirections][numCauses]int64
 	evicts   [numEvictSources]int64
@@ -138,6 +146,8 @@ func New() *Collector {
 
 // AddTransfer records a transfer of n bytes.
 func (c *Collector) AddTransfer(dir Direction, cause Cause, n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.bytes[dir][cause] += n
 	c.ops[dir][cause]++
 }
@@ -145,6 +155,8 @@ func (c *Collector) AddTransfer(dir Direction, cause Cause, n uint64) {
 // AddSaved records n bytes of transfer avoided because the data was
 // discarded.
 func (c *Collector) AddSaved(dir Direction, n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if dir == H2D {
 		c.savedH2D += n
 	} else {
@@ -154,48 +166,82 @@ func (c *Collector) AddSaved(dir Direction, n uint64) {
 
 // AddPeer records a GPU-to-GPU transfer of n bytes over the peer fabric.
 func (c *Collector) AddPeer(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.peerBytes += n
 	c.peerOps++
 }
 
 // AddPeerSaved records n bytes of peer transfer avoided by discard.
-func (c *Collector) AddPeerSaved(n uint64) { c.peerSaved += n }
+func (c *Collector) AddPeerSaved(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerSaved += n
+}
 
 // Peer returns (bytes, ops) of GPU-to-GPU traffic.
-func (c *Collector) Peer() (bytes uint64, ops int64) { return c.peerBytes, c.peerOps }
+func (c *Collector) Peer() (bytes uint64, ops int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerBytes, c.peerOps
+}
 
 // PeerSaved returns the peer-transfer bytes avoided by discard.
-func (c *Collector) PeerSaved() uint64 { return c.peerSaved }
+func (c *Collector) PeerSaved() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerSaved
+}
 
 // AddEviction records one chunk allocation satisfied from the given source.
-func (c *Collector) AddEviction(src EvictSource) { c.evicts[src]++ }
+func (c *Collector) AddEviction(src EvictSource) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evicts[src]++
+}
 
 // AddFaultBatch records one fault-service batch covering n blocks.
 func (c *Collector) AddFaultBatch(blocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.faultBatches++
 	c.faultedBlocks += int64(blocks)
 }
 
 // AddZeroFill records zero-fill work: whole blocks and loose 4 KiB pages.
 func (c *Collector) AddZeroFill(blocks, pages int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.zeroBlocks += int64(blocks)
 	c.zeroPages += int64(pages)
 }
 
 // AddUnmap records PTE-destruction work on n blocks.
-func (c *Collector) AddUnmap(blocks int) { c.unmapBlocks += int64(blocks) }
+func (c *Collector) AddUnmap(blocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.unmapBlocks += int64(blocks)
+}
 
 // AddMap records PTE-establishment work on n blocks.
-func (c *Collector) AddMap(blocks int) { c.mapBlocks += int64(blocks) }
+func (c *Collector) AddMap(blocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mapBlocks += int64(blocks)
+}
 
 // AddDiscard records one discard API call covering n blocks.
 func (c *Collector) AddDiscard(blocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.discardCalls++
 	c.discardBlocks += int64(blocks)
 }
 
 // AddAPITime attributes host-side time to a named API.
 func (c *Collector) AddAPITime(api string, t sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.apiTime == nil {
 		c.apiTime = make(map[string]sim.Time)
 	}
@@ -203,13 +249,27 @@ func (c *Collector) AddAPITime(api string, t sim.Time) {
 }
 
 // Bytes returns the bytes transferred in dir for cause.
-func (c *Collector) Bytes(dir Direction, cause Cause) uint64 { return c.bytes[dir][cause] }
+func (c *Collector) Bytes(dir Direction, cause Cause) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes[dir][cause]
+}
 
 // Ops returns the number of DMA operations in dir for cause.
-func (c *Collector) Ops(dir Direction, cause Cause) int64 { return c.ops[dir][cause] }
+func (c *Collector) Ops(dir Direction, cause Cause) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops[dir][cause]
+}
 
 // TotalBytes returns all interconnect traffic in one direction.
 func (c *Collector) TotalBytes(dir Direction) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalBytesLocked(dir)
+}
+
+func (c *Collector) totalBytesLocked(dir Direction) uint64 {
 	var t uint64
 	for cause := Cause(0); cause < numCauses; cause++ {
 		t += c.bytes[dir][cause]
@@ -220,47 +280,123 @@ func (c *Collector) TotalBytes(dir Direction) uint64 {
 // Traffic returns total interconnect traffic in both directions — the
 // quantity the paper's "PCIe traffic (GB)" tables report.
 func (c *Collector) Traffic() uint64 {
-	return c.TotalBytes(H2D) + c.TotalBytes(D2H)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalBytesLocked(H2D) + c.totalBytesLocked(D2H)
 }
 
 // Saved returns the bytes of transfer avoided by discard in each direction.
-func (c *Collector) Saved() (h2d, d2h uint64) { return c.savedH2D, c.savedD2H }
+func (c *Collector) Saved() (h2d, d2h uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.savedH2D, c.savedD2H
+}
 
 // Evictions returns the count for one eviction source.
-func (c *Collector) Evictions(src EvictSource) int64 { return c.evicts[src] }
+func (c *Collector) Evictions(src EvictSource) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicts[src]
+}
 
 // FaultBatches returns (batches, totalFaultedBlocks).
 func (c *Collector) FaultBatches() (batches, blocks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.faultBatches, c.faultedBlocks
 }
 
 // ZeroFills returns (wholeBlocks, loosePages).
-func (c *Collector) ZeroFills() (blocks, pages int64) { return c.zeroBlocks, c.zeroPages }
+func (c *Collector) ZeroFills() (blocks, pages int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zeroBlocks, c.zeroPages
+}
 
 // Unmaps returns the number of blocks whose PTEs were destroyed.
-func (c *Collector) Unmaps() int64 { return c.unmapBlocks }
+func (c *Collector) Unmaps() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.unmapBlocks
+}
 
 // Maps returns the number of blocks whose PTEs were established.
-func (c *Collector) Maps() int64 { return c.mapBlocks }
+func (c *Collector) Maps() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mapBlocks
+}
 
 // Discards returns (calls, blocksCovered).
 func (c *Collector) Discards() (calls, blocks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.discardCalls, c.discardBlocks
 }
 
 // APITime returns accumulated host time for a named API.
-func (c *Collector) APITime(api string) sim.Time { return c.apiTime[api] }
+func (c *Collector) APITime(api string) sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.apiTime[api]
+}
 
 // Reset zeroes all counters.
 func (c *Collector) Reset() {
-	*c = Collector{apiTime: make(map[string]sim.Time)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bytes = [numDirections][numCauses]uint64{}
+	c.ops = [numDirections][numCauses]int64{}
+	c.evicts = [numEvictSources]int64{}
+	c.savedH2D, c.savedD2H = 0, 0
+	c.peerBytes, c.peerOps, c.peerSaved = 0, 0, 0
+	c.faultBatches, c.faultedBlocks = 0, 0
+	c.zeroBlocks, c.zeroPages = 0, 0
+	c.unmapBlocks, c.mapBlocks = 0, 0
+	c.discardCalls, c.discardBlocks = 0, 0
+	c.apiTime = make(map[string]sim.Time)
+}
+
+// Snapshot returns an independent copy of the collector's current state,
+// taken atomically. The copy is detached: later additions to c do not show
+// up in it, so a live-progress reporter can render a consistent view while
+// the run continues.
+func (c *Collector) Snapshot() *Collector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Collector{
+		bytes:         c.bytes,
+		ops:           c.ops,
+		evicts:        c.evicts,
+		savedH2D:      c.savedH2D,
+		savedD2H:      c.savedD2H,
+		peerBytes:     c.peerBytes,
+		peerOps:       c.peerOps,
+		peerSaved:     c.peerSaved,
+		faultBatches:  c.faultBatches,
+		faultedBlocks: c.faultedBlocks,
+		zeroBlocks:    c.zeroBlocks,
+		zeroPages:     c.zeroPages,
+		unmapBlocks:   c.unmapBlocks,
+		mapBlocks:     c.mapBlocks,
+		discardCalls:  c.discardCalls,
+		discardBlocks: c.discardBlocks,
+		apiTime:       make(map[string]sim.Time, len(c.apiTime)),
+	}
+	for k, v := range c.apiTime {
+		s.apiTime[k] = v
+	}
+	return s
 }
 
 // Summary renders a human-readable multi-line report.
 func (c *Collector) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "traffic: total %.2f GB (H2D %.2f GB, D2H %.2f GB)\n",
-		units.GB(c.Traffic()), units.GB(c.TotalBytes(H2D)), units.GB(c.TotalBytes(D2H)))
+		units.GB(c.totalBytesLocked(H2D)+c.totalBytesLocked(D2H)),
+		units.GB(c.totalBytesLocked(H2D)), units.GB(c.totalBytesLocked(D2H)))
 	for dir := Direction(0); dir < numDirections; dir++ {
 		for cause := Cause(0); cause < numCauses; cause++ {
 			if c.bytes[dir][cause] == 0 {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"uvmdiscard/internal/sim"
@@ -141,5 +142,56 @@ func TestSummaryMentionsKeyFields(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// The collector must tolerate concurrent writers and readers: the parallel
+// experiment runner snapshots collectors for live progress while the owning
+// run is still adding to them. The race detector is the real assertion here.
+func TestCollectorConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.AddTransfer(H2D, CauseFault, 10)
+				c.AddSaved(D2H, 5)
+				c.AddEviction(EvictLRU)
+				c.AddAPITime("api", sim.Micros(1))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = c.Traffic()
+			_ = c.Snapshot().Summary()
+		}
+	}()
+	wg.Wait()
+	if got := c.Bytes(H2D, CauseFault); got != 4*500*10 {
+		t.Errorf("concurrent adds lost updates: %d", got)
+	}
+}
+
+// Snapshot is a detached, consistent copy.
+func TestCollectorSnapshotDetached(t *testing.T) {
+	c := New()
+	c.AddTransfer(D2H, CauseEviction, 100)
+	c.AddAPITime("x", sim.Micros(2))
+	s := c.Snapshot()
+	c.AddTransfer(D2H, CauseEviction, 900)
+	c.AddAPITime("x", sim.Micros(8))
+	if got := s.Bytes(D2H, CauseEviction); got != 100 {
+		t.Errorf("snapshot bytes = %d, want 100", got)
+	}
+	if got := s.APITime("x"); got != sim.Micros(2) {
+		t.Errorf("snapshot api time = %v, want 2µs", got)
+	}
+	if got := c.Bytes(D2H, CauseEviction); got != 1000 {
+		t.Errorf("live collector = %d, want 1000", got)
 	}
 }
