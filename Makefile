@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench examples repro csv ci clean
+.PHONY: all build test test-short test-race bench examples repro csv ci lint clean
 
 all: build test
 
@@ -10,14 +10,21 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# Static analysis: formatting, vet, and the project's own analyzers
+# (cmd/uvmlint: locksafe, simdet, queuestate — see DESIGN.md).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/uvmlint
+
 # Full suite under the race detector — the gate on the parallel experiment
 # runner's concurrency claims.
 test-race:
 	$(GO) test -race ./...
 
 # Everything CI runs (.github/workflows/ci.yml mirrors this target).
-ci:
-	$(GO) vet ./...
+ci: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 

@@ -83,6 +83,7 @@ func main() {
 	opts := experiments.Options{Quick: *quick}
 	fmt.Fprintf(w, "uvmdiscard paperbench — reproducing IISWC'22 \"UVM Discard\" (quick=%v)\n\n", *quick)
 
+	//uvmlint:ignore simdet host-side wall time for the progress banner, not simulated time
 	started := time.Now()
 	done := 0
 	results := experiments.RunAll(selected, opts, *jobs, func(r experiments.RunResult) {
@@ -117,6 +118,7 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "paperbench: %d experiments in %v wall time (-j %d)\n",
+		//uvmlint:ignore simdet host-side wall time for the summary line, not simulated time
 		len(selected), time.Since(started).Round(time.Millisecond), *jobs)
 
 	// Failures are reported together at the end; a broken experiment never

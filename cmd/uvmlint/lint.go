@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// Lint locates the module root at or above start, loads every package in
+// the module, and runs the multichecker's analyzers over them. It is split
+// from main so the test suite can lint the real repository in-process.
+func Lint(start string) ([]analysis.Diagnostic, error) {
+	root, err := moduleRoot(start)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadTree(fset, root, nil)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, analyzers)
+}
+
+// moduleRoot walks up from dir until it finds go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		abs = parent
+	}
+}

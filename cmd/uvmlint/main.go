@@ -1,0 +1,64 @@
+// Command uvmlint is the project's multichecker: it runs the custom
+// static-analysis passes (locksafe, simdet, queuestate — see
+// internal/analysis) over every package in the module and exits non-zero
+// if any diagnostic survives suppression.
+//
+// Usage:
+//
+//	uvmlint [-list] [dir]
+//
+// dir defaults to the current directory; the module root is located by
+// walking up to go.mod, and the whole module is linted regardless of which
+// subdirectory uvmlint starts from (so `go run ./cmd/uvmlint` in the repo
+// root and a `make lint` from anywhere agree). Suppress a finding with
+// `//uvmlint:ignore <analyzer> <reason>` on or directly above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uvmdiscard/internal/analysis"
+	"uvmdiscard/internal/analysis/locksafe"
+	"uvmdiscard/internal/analysis/queuestate"
+	"uvmdiscard/internal/analysis/simdet"
+)
+
+// analyzers is the multichecker's pass list.
+var analyzers = []*analysis.Analyzer{
+	locksafe.Analyzer,
+	simdet.Analyzer,
+	queuestate.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: uvmlint [-list] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	start := "."
+	if flag.NArg() > 0 {
+		start = flag.Arg(0)
+	}
+	diags, err := Lint(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uvmlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "uvmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

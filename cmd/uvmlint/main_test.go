@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestRepoIsLintClean runs the full multichecker over the repository
+// itself: the codebase must satisfy its own analyzers (any sanctioned
+// wall-clock use carries an //uvmlint:ignore with a reason).
+func TestRepoIsLintClean(t *testing.T) {
+	diags, err := Lint(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("uvmlint found %d finding(s) in the repository", len(diags))
+	}
+}

@@ -1,0 +1,171 @@
+// Package analysis is a small, dependency-free analogue of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects the parsed
+// syntax of one package and reports Diagnostics at token positions.
+//
+// The repo is deliberately stdlib-only (see go.mod), so rather than pull in
+// x/tools we reimplement the narrow slice of the framework the project's
+// linters need: package loading (load.go), per-package analyzer runs,
+// position-keyed diagnostics, and //uvmlint:ignore suppression. Analyzers
+// written against this package keep the x/tools shape — a Name, a Doc
+// string, and a Run(*Pass) error — so porting them to a real multichecker
+// later is mechanical.
+//
+// The three project analyzers live in subpackages:
+//
+//   - locksafe:   mutex-guarded struct fields only touched under the lock
+//   - simdet:     no wall-clock time or global math/rand in simulation code
+//   - queuestate: gpudev queue mutators called only by their owners
+//
+// cmd/uvmlint is the multichecker that runs all of them over the module;
+// analysistest is the `// want`-comment test harness.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //uvmlint:ignore comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass hands an Analyzer the parsed syntax of a single package.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// PkgName is the package clause name (e.g. "core").
+	PkgName string
+	// PkgPath is the package's module-relative import path (e.g.
+	// "internal/core"); analyzers use it for scoping rules. In
+	// analysistest runs it is the path under testdata/src.
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the pass that produced the finding.
+	Analyzer string
+	// Pos is the finding's token position.
+	Pos token.Pos
+	// Position is Pos resolved against the file set.
+	Position token.Position
+	// Message describes the finding.
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run applies each analyzer to each package and returns all diagnostics,
+// sorted by position, with //uvmlint:ignore suppressions applied.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgName:  pkg.Name,
+				PkgPath:  pkg.Path,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = suppress(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreRe matches suppression comments: //uvmlint:ignore name[,name] reason.
+// The reason is mandatory — a suppression without a why is a smell.
+var ignoreRe = regexp.MustCompile(`^//uvmlint:ignore\s+([a-zA-Z0-9_,]+)\s+\S`)
+
+// suppress drops diagnostics covered by an //uvmlint:ignore comment on the
+// same line or on the line immediately above the finding.
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	// ignored[file][line] = set of analyzer names suppressed at that line.
+	ignored := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := ignored[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					ignored[pos.Filename] = byLine
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+				// A suppression covers its own line (trailing comment)
+				// and the next line (comment above the statement).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					for n := range names {
+						byLine[line][n] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if names := ignored[d.Position.Filename][d.Position.Line]; names[d.Analyzer] || names["all"] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

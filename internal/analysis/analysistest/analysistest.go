@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over packages under a testdata
+// directory and checks its diagnostics against `// want "regexp"`
+// expectations in the source, mirroring the x/tools package of the same
+// name (see internal/analysis for why this is a local reimplementation).
+//
+// Layout: testdata/src/<pkgpath>/*.go, where <pkgpath> is the package path
+// the analyzer sees — so scoping rules (e.g. "only under internal/") can be
+// exercised by naming the test package accordingly.
+//
+// A `// want "re1" "re2"` comment at the end of a line expects one
+// diagnostic matching each regexp on that line; lines without a want
+// comment expect no diagnostics.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each package path from testdata/src, applies the analyzer, and
+// reports unexpected or missing diagnostics through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := analysis.LoadDir(fset, dir, path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		if pkg == nil {
+			t.Fatalf("no Go files in %s", dir)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Collect expectations from the sources.
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against expectations.
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				relToTestdata(testdata, k.file), k.line, re)
+		}
+	}
+}
+
+func relToTestdata(testdata, file string) string {
+	if rel, err := filepath.Rel(testdata, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is the parsed syntax of one directory's Go files. Files from the
+// in-package test package (package foo + package foo_test in the same
+// directory) are grouped into one Package: the analyzers here are syntactic
+// and scope by directory, not by compilation unit.
+type Package struct {
+	// Name is the non-test package clause name.
+	Name string
+	// Path is the module-relative import path ("" for the module root).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset is the file set all Files were parsed into.
+	Fset *token.FileSet
+	// Files are the parsed files, comments included, sorted by filename.
+	Files []*ast.File
+}
+
+// LoadDir parses every .go file in dir (non-recursively) into one Package
+// with the given module-relative path. Returns nil (no error) if the
+// directory contains no Go files.
+func LoadDir(fset *token.FileSet, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		if pkg.Name == "" && !strings.HasSuffix(f.Name.Name, "_test") {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if pkg.Name == "" { // directory holds only an external test package
+		pkg.Name = pkg.Files[0].Name.Name
+	}
+	return pkg, nil
+}
+
+// LoadTree walks root recursively and loads every package under it,
+// skipping testdata, hidden directories, and any directory for which skip
+// returns true. Paths are reported relative to root.
+func LoadTree(fset *token.FileSet, root string, skip func(rel string) bool) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(p)
+		if rel != "." && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		if skip != nil && skip(rel) {
+			return filepath.SkipDir
+		}
+		path := filepath.ToSlash(rel)
+		if path == "." {
+			path = ""
+		}
+		pkg, err := LoadDir(fset, p, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// ImportName returns the local name under which file f imports the package
+// with the given import path, or "" if f does not import it. The default
+// name (last path element) is returned for unnamed imports; "_" and "."
+// imports return their literal names.
+func ImportName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

@@ -1,0 +1,186 @@
+// Package locksafe defines an analyzer enforcing the repo's mutex
+// convention: in a struct whose first field is `mu sync.Mutex` (or
+// RWMutex), every field declared after mu is guarded by it, and methods of
+// that struct may only touch guarded fields while holding the lock.
+//
+// A method counts as holding the lock when its body calls <recv>.mu.Lock
+// or <recv>.mu.RLock, or when its name ends in "Locked" (the convention
+// for helpers whose callers hold mu — e.g. metrics.Collector's
+// totalBytesLocked). This is exactly the race class PR 1 fixed in
+// metrics.Collector: getters reading counters while a run was still
+// writing them.
+package locksafe
+
+import (
+	"go/ast"
+	"strings"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "report accesses to mutex-guarded struct fields in methods that " +
+		"neither lock the mutex nor declare (by a *Locked name) that the " +
+		"caller holds it",
+	Run: run,
+}
+
+// guarded describes one struct with a mu-guard.
+type guarded struct {
+	muName string          // the mutex field's name (always "mu" today)
+	fields map[string]bool // fields declared after mu
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find structs with a mu sync.Mutex / sync.RWMutex field.
+	structs := map[string]*guarded{} // type name -> guard info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if g := guardInfo(f, st); g != nil {
+				structs[ts.Name.Name] = g
+			}
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+
+	// Pass 2: check each method of a guarded struct.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			typeName := recvTypeName(fd.Recv.List[0].Type)
+			g, ok := structs[typeName]
+			if !ok {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller holds the lock by convention
+			}
+			recv := ""
+			if len(fd.Recv.List[0].Names) > 0 {
+				recv = fd.Recv.List[0].Names[0].Name
+			}
+			if recv == "" || recv == "_" {
+				continue // receiver unused: no field access possible
+			}
+			if locksMu(fd.Body, recv, g.muName) {
+				continue
+			}
+			// No lock acquired: any guarded-field access is a finding.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != recv {
+					return true
+				}
+				if g.fields[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s is guarded by %s.%s, but method %s accesses it without holding the lock (no %s.%s.Lock and name does not end in Locked)",
+						typeName, sel.Sel.Name, typeName, g.muName,
+						fd.Name.Name, recv, g.muName)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guardInfo returns the guard layout of a struct whose fields include a
+// sync.Mutex/RWMutex named mu; fields declared after it are guarded.
+func guardInfo(f *ast.File, st *ast.StructType) *guarded {
+	syncName := analysis.ImportName(f, "sync")
+	if syncName == "" || st.Fields == nil {
+		return nil
+	}
+	var g *guarded
+	for _, field := range st.Fields.List {
+		if g != nil {
+			for _, name := range field.Names {
+				g.fields[name.Name] = true
+			}
+			continue
+		}
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != syncName {
+			continue
+		}
+		if sel.Sel.Name != "Mutex" && sel.Sel.Name != "RWMutex" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "mu" {
+				g = &guarded{muName: "mu", fields: map[string]bool{}}
+			}
+		}
+	}
+	if g == nil || len(g.fields) == 0 {
+		return nil
+	}
+	return g
+}
+
+// recvTypeName extracts T from a receiver of type T or *T.
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return ""
+	}
+}
+
+// locksMu reports whether body contains a call to recv.mu.Lock or
+// recv.mu.RLock.
+func locksMu(body *ast.BlockStmt, recv, mu string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != mu {
+			return true
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if ok && id.Name == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

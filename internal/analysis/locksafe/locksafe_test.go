@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "a")
+}

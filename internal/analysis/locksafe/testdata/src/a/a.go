@@ -1,0 +1,83 @@
+// Package a seeds locksafe violations: Counter.n and Counter.last are
+// guarded by mu; methods must lock or be named *Locked.
+package a
+
+import "sync"
+
+// Counter is a guarded struct: fields after mu are protected by it.
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	last string
+}
+
+// Plain has no mutex; its fields are fair game.
+type Plain struct {
+	n int
+}
+
+// Add locks correctly.
+func (c *Counter) Add(delta int, who string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+	c.last = who
+}
+
+// Get forgets the lock on both fields.
+func (c *Counter) Get() (int, string) {
+	return c.n, c.last // want "Counter.n is guarded" "Counter.last is guarded"
+}
+
+// addLocked is the caller-holds-mu convention; no finding.
+func (c *Counter) addLocked(delta int) {
+	c.n += delta
+}
+
+// Sum uses the helper under the lock; no direct guarded access here.
+func (c *Counter) Sum(deltas []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range deltas {
+		c.addLocked(d)
+	}
+}
+
+// Mixed locks in one branch only — the analyzer is conservative and
+// accepts any Lock call in the body, so this passes (vet-style linters
+// accept the same; the race detector is the backstop).
+func (c *Counter) Mixed(b bool) int {
+	if b {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n
+}
+
+// Reader uses RLock on an RWMutex-guarded struct.
+type Reader struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// Load read-locks; fine.
+func (r *Reader) Load() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// Peek touches v with no lock.
+func (r *Reader) Peek() int {
+	return r.v // want "Reader.v is guarded"
+}
+
+// Bump is fine: Plain is not guarded.
+func (p *Plain) Bump() { p.n++ }
+
+// closure accesses count too.
+func (c *Counter) Async() func() int {
+	return func() int {
+		return c.n // want "Counter.n is guarded"
+	}
+}

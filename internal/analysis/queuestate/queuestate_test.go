@@ -1,0 +1,13 @@
+package queuestate_test
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/queuestate"
+)
+
+func TestQueuestate(t *testing.T) {
+	analysistest.Run(t, "testdata", queuestate.Analyzer,
+		"internal/sched", "internal/core", "internal/other")
+}

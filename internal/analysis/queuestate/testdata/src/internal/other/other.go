@@ -1,0 +1,20 @@
+// Package other has methods that share names with the queue mutators but
+// no gpudev import — the analyzer must stay quiet.
+package other
+
+// Pool is an unrelated type with a PopFree-shaped API.
+type Pool struct{ free []int }
+
+// PopFree pops from an int pool, nothing to do with gpudev.
+func (p *Pool) PopFree() int {
+	n := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return n
+}
+
+// Drain calls it; fine, since this file never sees gpudev.
+func Drain(p *Pool) {
+	for range p.free {
+		_ = p.PopFree()
+	}
+}

@@ -1,0 +1,29 @@
+// Package sched seeds queuestate violations: it is not internal/core or
+// internal/gpudev, yet pokes the device queues directly.
+package sched
+
+import "uvmdiscard/internal/gpudev"
+
+// Steal grabs a chunk straight off the free queue.
+func Steal(d *gpudev.Device) *gpudev.Chunk {
+	return d.PopFree() // want "queue mutator PopFree outside"
+}
+
+// Shuffle moves a chunk between queues behind the driver's back.
+func Shuffle(d *gpudev.Device, c *gpudev.Chunk) {
+	d.Detach(c)        // want "queue mutator Detach outside"
+	d.PushDiscarded(c) // want "queue mutator PushDiscarded outside"
+}
+
+// Recycle bypasses eviction accounting entirely.
+func Recycle(d *gpudev.Device) {
+	if c := d.PopDiscarded(); c != nil { // want "queue mutator PopDiscarded outside"
+		d.PushFree(c) // want "queue mutator PushFree outside"
+	}
+}
+
+// Peek only reads; QueueLen and LRUVictim are not mutators.
+func Peek(d *gpudev.Device) int {
+	_ = d.LRUVictim()
+	return d.QueueLen(gpudev.QueueFree)
+}

@@ -1,0 +1,73 @@
+// Package simdet defines an analyzer enforcing simulation determinism:
+// code under internal/ and cmd/ must not read the wall clock (time.Now,
+// time.Since) or use math/rand — all simulated time flows through
+// sim.Time and all randomness through sim.RNG (forked per goroutine with
+// RNG.Fork), so that a run's output is a pure function of its inputs and
+// the parallel experiment runner stays byte-for-byte deterministic.
+//
+// Deliberate wall-clock uses (e.g. reporting how long an experiment took on
+// the host) carry an `//uvmlint:ignore simdet <reason>` suppression.
+package simdet
+
+import (
+	"go/ast"
+	"strings"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// Analyzer is the simdet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "forbid wall-clock reads (time.Now, time.Since) and math/rand " +
+		"under internal/ and cmd/: simulations use sim.Time and sim.RNG",
+	Run: run,
+}
+
+// bannedTimeFuncs are the wall-clock entry points. time.Duration,
+// time.Sleep-free formatting helpers, etc. remain fine.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Importing math/rand at all is a violation: sim.RNG is the only
+		// sanctioned randomness source, seeded and forkable.
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s is forbidden in simulation code: use sim.RNG (Fork per goroutine) for determinism", p)
+			}
+		}
+		timeName := analysis.ImportName(f, "time")
+		if timeName == "" || timeName == "_" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || id.Obj != nil {
+				return true
+			}
+			if bannedTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock: simulation code must derive time from sim.Time", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope limits the pass to the simulation tree: internal/ and cmd/.
+// Examples and the public wrapper package may legitimately time things.
+func inScope(pkgPath string) bool {
+	return pkgPath == "internal" || pkgPath == "cmd" ||
+		strings.HasPrefix(pkgPath, "internal/") || strings.HasPrefix(pkgPath, "cmd/")
+}

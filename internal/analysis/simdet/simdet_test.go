@@ -1,0 +1,13 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, "testdata", simdet.Analyzer,
+		"internal/badclock", "examples/demo")
+}

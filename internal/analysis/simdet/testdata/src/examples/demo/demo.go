@@ -1,0 +1,11 @@
+// Package demo is outside the internal//cmd/ scope: wall-clock use is fine.
+package demo
+
+import "time"
+
+// Elapsed times a callback with the real clock — allowed in examples.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,35 @@
+// Package badclock seeds simdet violations inside the internal/ scope.
+package badclock
+
+import (
+	"math/rand" // want "import of math/rand is forbidden"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	_ = rand.Intn(4)
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Deadline uses time.Until.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the wall clock"
+}
+
+// Format uses only deterministic parts of the time package; fine.
+func Format(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// Allowed demonstrates suppression with a reason.
+func Allowed() time.Time {
+	//uvmlint:ignore simdet wall-clock needed for host-side progress logs
+	return time.Now()
+}
+
+// AllowedTrailing suppresses on the same line.
+func AllowedTrailing() time.Time {
+	return time.Now() //uvmlint:ignore simdet host-side reporting only
+}

@@ -77,6 +77,7 @@ func (d *Driver) GPUAccessOn(gpu int, blocks []*vaspace.Block, mode AccessMode, 
 			}
 		}
 	}
+	d.verify("GPUAccess")
 	return done, nil
 }
 
@@ -101,6 +102,7 @@ func (d *Driver) CPUAccess(blocks []*vaspace.Block, mode AccessMode, now sim.Tim
 			b.Discarded, b.LazyDiscard = false, false
 		}
 	}
+	d.verify("CPUAccess")
 	return cur
 }
 
@@ -120,7 +122,12 @@ func (d *Driver) PrefetchToGPUOn(gpu int, a *vaspace.Alloc, off, length uint64, 
 	if err != nil {
 		return now, err
 	}
-	return d.ensureGPUBlocks(blocks, now, metrics.CausePrefetch, false, gpu)
+	done, err := d.ensureGPUBlocks(blocks, now, metrics.CausePrefetch, false, gpu)
+	if err != nil {
+		return done, err
+	}
+	d.verify("PrefetchToGPU")
+	return done, nil
 }
 
 // PrefetchToCPU migrates the covered blocks toward the host.
@@ -133,5 +140,6 @@ func (d *Driver) PrefetchToCPU(a *vaspace.Alloc, off, length uint64, now sim.Tim
 	for _, b := range blocks {
 		cur = d.ensureCPUBlock(b, cur, metrics.CausePrefetch, false)
 	}
+	d.verify("PrefetchToCPU")
 	return cur, nil
 }

@@ -78,6 +78,7 @@ func (d *Driver) MemAdvise(a *vaspace.Alloc, off, length uint64, adv Advice, now
 			return cur, fmt.Errorf("core: unknown advice %v", adv)
 		}
 	}
+	d.verify("MemAdvise")
 	return cur, nil
 }
 

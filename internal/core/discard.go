@@ -46,6 +46,11 @@ func (d *Driver) discard(a *vaspace.Alloc, off, length uint64, now sim.Time, laz
 		cur = d.discardPartialEdges(a, off, length, cur, lazy)
 	}
 	d.m.AddDiscard(covered)
+	if lazy {
+		d.verify("DiscardLazy")
+	} else {
+		d.verify("Discard")
+	}
 	return cur, nil
 }
 
@@ -126,6 +131,7 @@ func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now s
 		if coveredPages == 0 {
 			continue
 		}
+		alreadySplit := b.LivePages > 0
 		live := b.LivePages
 		if live == 0 {
 			live = int(b.Bytes() / units.PageSize)
@@ -134,11 +140,16 @@ func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now s
 		if live < 0 {
 			live = 0
 		}
-		// Splitting the 2 MiB mapping costs an unmap/remap round trip.
-		prof := d.devs[b.GPUIndex].Profile()
-		cur += prof.UnmapPerBlock + prof.MapPerBlock
-		d.m.AddUnmap(1)
-		d.m.AddMap(1)
+		if !alreadySplit {
+			// Splitting the 2 MiB mapping costs an unmap/remap round
+			// trip — but only the first partial discard splits it; a
+			// block LivePages shows is already at 4 KiB granularity just
+			// shrinks its live set without more PTE work.
+			prof := d.devs[b.GPUIndex].Profile()
+			cur += prof.UnmapPerBlock + prof.MapPerBlock
+			d.m.AddUnmap(1)
+			d.m.AddMap(1)
+		}
 		if live == 0 {
 			// The whole block ended up dead across partial discards.
 			cur, _ = d.discardBlock(b, cur, lazy)

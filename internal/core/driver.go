@@ -71,6 +71,27 @@ type Driver struct {
 
 	deviceAllocBytes units.Size // non-UVM cudaMalloc'd bytes (chunks held)
 	deviceChunks     map[*gpudev.Chunk]struct{}
+
+	// opCount numbers the public driver operations for the sanitizer's
+	// sampling stride (sanitizer.go). A Driver is single-threaded per
+	// run (see internal/experiments isolation rules), so no lock.
+	opCount uint64
+}
+
+var (
+	forceCheckInvariants      bool
+	forceCheckInvariantsEvery int
+)
+
+// EnableInvariantChecksForTests turns the runtime sanitizer on for every
+// driver subsequently built by New, regardless of Params.CheckInvariants,
+// with the given sampling stride (values < 2 mean every operation). It
+// exists for TestMain functions — the core and experiments test binaries
+// call it so every driver constructed anywhere in a test run is checked —
+// and must only be called before tests start.
+func EnableInvariantChecksForTests(stride int) {
+	forceCheckInvariants = true
+	forceCheckInvariantsEvery = stride
 }
 
 // New builds a driver.
@@ -78,6 +99,10 @@ func New(cfg Config) (*Driver, error) {
 	p := DefaultParams()
 	if cfg.Params != nil {
 		p = *cfg.Params
+	}
+	if forceCheckInvariants && !p.CheckInvariants {
+		p.CheckInvariants = true
+		p.CheckInvariantsEvery = forceCheckInvariantsEvery
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -118,15 +143,15 @@ func New(cfg Config) (*Driver, error) {
 		costs = DefaultAPICosts()
 	}
 	return &Driver{
-		devs:     devs,
-		host:     host,
-		link:     link,
-		peerLink: peerLink,
-		space:    vaspace.NewSpace(),
-		m:        m,
-		tr:       cfg.Trace,
-		p:        p,
-		costs:    costs,
+		devs:         devs,
+		host:         host,
+		link:         link,
+		peerLink:     peerLink,
+		space:        vaspace.NewSpace(),
+		m:            m,
+		tr:           cfg.Trace,
+		p:            p,
+		costs:        costs,
 		dma:          sim.NewEngine("dma"),
 		peer:         sim.NewEngine("peer-fabric"),
 		deviceChunks: make(map[*gpudev.Chunk]struct{}),
@@ -190,6 +215,12 @@ func (d *Driver) FreeManaged(a *vaspace.Alloc) error {
 		if b.Chunk != nil {
 			dev := d.devs[b.GPUIndex]
 			dev.Detach(b.Chunk)
+			// Freeing tears down the VA range and its mappings with it,
+			// so a lazily discarded chunk's deferred unmap (§5.6) no
+			// longer applies at reclaim time; leaving the marker set
+			// would charge a phantom unmap when the unused chunk is
+			// reused.
+			b.Chunk.NeedsUnmapOnReclaim = false
 			b.Chunk.Owner = nil
 			dev.PushUnused(b.Chunk)
 			b.Chunk = nil
@@ -206,7 +237,11 @@ func (d *Driver) FreeManaged(a *vaspace.Alloc) error {
 		b.Discarded, b.LazyDiscard = false, false
 		b.LivePages = 0
 	}
-	return d.space.Free(a)
+	if err := d.space.Free(a); err != nil {
+		return err
+	}
+	d.verify("FreeManaged")
+	return nil
 }
 
 // MallocDevice claims chunks for a classic (non-UVM) device buffer; they
@@ -236,6 +271,7 @@ func (d *Driver) MallocDevice(size units.Size) ([]*gpudev.Chunk, error) {
 	for _, c := range chunks {
 		d.deviceChunks[c] = struct{}{}
 	}
+	d.verify("MallocDevice")
 	return chunks, nil
 }
 
@@ -252,6 +288,7 @@ func (d *Driver) FreeDevice(chunks []*gpudev.Chunk) {
 		d.devs[0].PushFree(c)
 		d.deviceAllocBytes -= units.BlockSize
 	}
+	d.verify("FreeDevice")
 }
 
 // DeviceAllocBytes returns bytes currently held by non-UVM device buffers.

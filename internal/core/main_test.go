@@ -1,0 +1,15 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain turns the runtime sanitizer on for every driver any core test
+// builds, checking the full invariant sweep after every driver operation.
+// Tests that need a knob the sanitizer forbids (e.g. modeling the §5.2
+// lazy-reuse hazard) opt into that behavior explicitly via Params.
+func TestMain(m *testing.M) {
+	EnableInvariantChecksForTests(1)
+	os.Exit(m.Run())
+}

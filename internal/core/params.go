@@ -75,6 +75,30 @@ type Params struct {
 	// access to a split block under the AllowPartialDiscard ablation.
 	SplitTLBPenalty sim.Time
 
+	// CheckInvariants enables the runtime sanitizer (sanitizer.go): after
+	// every public driver operation the full invariant sweep runs —
+	// chunk-in-exactly-one-queue, chunk↔block back-pointers, byte
+	// conservation across all devices, host accounting, and the discard
+	// protocol rules — and panics with a diagnostic naming the offending
+	// alloc/block/chunk. Off by default (it is O(blocks + chunks) per
+	// operation); every core and experiments test turns it on.
+	CheckInvariants bool
+
+	// CheckInvariantsEvery samples the sanitizer sweep to every Nth
+	// operation when > 1 (0 and 1 both mean every operation). Full-scale
+	// experiment runs use a stride so the sweep's cost stays negligible
+	// while still bracketing any corruption to a small operation window.
+	CheckInvariantsEvery int
+
+	// PanicOnSilentReuse escalates the §5.2 lazy-discard protocol hazard
+	// from silently-modeled (the paper's semantics: the driver never
+	// observes the access, and a later reclaim loses the data) to an
+	// immediate panic naming the block. Separate from CheckInvariants
+	// because the hazard is an *application* protocol violation, not a
+	// driver-state inconsistency — tests that deliberately model the
+	// hazard keep it off.
+	PanicOnSilentReuse bool
+
 	// RemoteAccessMigrateThreshold enables the cache-coherent
 	// remote-access mode of §2.3 when the link is coherent and the value
 	// is positive: a GPU access to CPU-resident data is served over the
@@ -129,6 +153,9 @@ func (p *Params) Validate() error {
 	}
 	if p.RemoteAccessMigrateThreshold < 0 {
 		return fmt.Errorf("core: negative remote-access threshold")
+	}
+	if p.CheckInvariantsEvery < 0 {
+		return fmt.Errorf("core: negative sanitizer stride")
 	}
 	return nil
 }

@@ -140,3 +140,85 @@ func TestEvictPartialBlockCreditsSavedD2H(t *testing.T) {
 			savedD2H, units.MiB)
 	}
 }
+
+// Freeing an allocation with a lazily discarded, still-resident block tears
+// down the VA range and all its mappings — the chunk's deferred unmap
+// (§5.6) no longer applies. The bug was FreeManaged pushing the chunk to
+// the unused queue with NeedsUnmapOnReclaim still set, which both tripped
+// the sanitizer (the marker is only legal on a discarded-queue chunk of a
+// lazy block) and would have charged a phantom unmap at reclaim.
+func TestFreeManagedClearsDeferredUnmap(t *testing.T) {
+	d := testDriver(t, 4)
+	a := mustAlloc(t, d, "a", units.BlockSize)
+	gpuAccess(t, d, a.Blocks(), Write)
+	if _, err := d.DiscardLazy(a, 0, uint64(units.BlockSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Block(0).Chunk
+	if !c.NeedsUnmapOnReclaim {
+		t.Fatal("setup: lazy discard did not set the deferred-unmap marker")
+	}
+
+	if err := d.FreeManaged(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Queue(); got != gpudev.QueueUnused {
+		t.Fatalf("freed chunk on %v queue, want unused", got)
+	}
+	if c.Owner != nil {
+		t.Error("freed chunk still has an owner")
+	}
+	if c.NeedsUnmapOnReclaim {
+		t.Error("freed chunk carries NeedsUnmapOnReclaim into the unused queue")
+	}
+	if err := d.CheckNow(); err != nil {
+		t.Errorf("state after free: %v", err)
+	}
+}
+
+// Splitting a 2 MiB mapping for a partial discard costs one unmap/remap
+// round trip — once. The bug charged it on every partial discard of the
+// same block, even when LivePages showed the block was already at 4 KiB
+// granularity.
+func TestPartialDiscardSplitChargedOnce(t *testing.T) {
+	d := driverWithParams(t, 4, func(p *Params) { p.AllowPartialDiscard = true })
+	a := mustAlloc(t, d, "a", units.BlockSize)
+	gpuAccess(t, d, a.Blocks(), Write)
+	quarter := uint64(units.BlockSize) / 4
+
+	// First partial discard splits the mapping: one unmap + one remap.
+	if _, err := d.Discard(a, 0, quarter, 0); err != nil {
+		t.Fatal(err)
+	}
+	unmaps, maps := d.Metrics().Unmaps(), d.Metrics().Maps()
+	if unmaps != 1 {
+		t.Fatalf("first partial discard charged %d unmaps, want 1", unmaps)
+	}
+
+	// Further partial discards shrink the live set with no more PTE work.
+	if _, err := d.Discard(a, quarter, quarter, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Metrics().Unmaps(); got != unmaps {
+		t.Errorf("second partial discard re-charged the split: %d unmaps, want %d", got, unmaps)
+	}
+	if got := d.Metrics().Maps(); got != maps {
+		t.Errorf("second partial discard re-charged the remap: %d maps, want %d", got, maps)
+	}
+	b := a.Block(0)
+	if want := int(uint64(units.BlockSize)/2) / int(units.PageSize); b.LivePages != want {
+		t.Errorf("LivePages = %d, want %d", b.LivePages, want)
+	}
+
+	// The discard that kills the rest goes through discardBlock, whose
+	// eager unmap is separate from (and in addition to) the split cost.
+	if _, err := d.Discard(a, 2*quarter, 2*quarter, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Discarded {
+		t.Fatal("fully covered block not discarded")
+	}
+	if got := d.Metrics().Unmaps(); got != unmaps+1 {
+		t.Errorf("final eager discard: %d unmaps, want %d", got, unmaps+1)
+	}
+}

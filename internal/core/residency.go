@@ -320,7 +320,12 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 				cur += d.p.PrefetchRecencyPerBlock
 			}
 		case actSilent:
-			// Nothing: no fault, no driver knowledge.
+			// Nothing: no fault, no driver knowledge. Under the
+			// sanitizer's strict protocol mode this hazard panics at the
+			// access instead of losing the data at some later reclaim.
+			if d.p.PanicOnSilentReuse {
+				panic("core: sanitizer: " + silentReuseDiag(b))
+			}
 		case actRemote:
 			// The GPU reads/writes host memory through the link without
 			// migrating (coherent hardware, or a zero-copy mapping for a

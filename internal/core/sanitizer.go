@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/vaspace"
+)
+
+// This file is the driver's runtime sanitizer: an always-available
+// invariant checker over the whole memory-management model, enabled by
+// Params.CheckInvariants and run after every public driver operation. It
+// enforces the paper's state machine mechanically:
+//
+//   - every physical chunk lives in exactly one queue, and the per-device
+//     queue bookkeeping is self-consistent (§5.5);
+//   - chunk↔block back-pointers agree in both directions;
+//   - bytes are conserved: free + unused + used + discarded + reserved +
+//     cudaMalloc'd device buffers == GPU capacity, on every device;
+//   - host DRAM accounting matches the blocks that claim host pages;
+//   - the discard protocol holds: an eagerly discarded resident block has
+//     no GPU mappings left (a touch must fault, §5.1), a lazily discarded
+//     resident block keeps its mappings and carries the deferred-unmap
+//     marker (§5.2/§5.6), and NeedsUnmapOnReclaim never appears on a chunk
+//     that is not lazily discarded.
+//
+// Violations panic with a diagnostic naming the offending alloc, block,
+// and chunk — the class of bug PR 1 had to find by hand-written regression
+// tests is now caught at the operation that introduces it.
+
+// CheckNow runs the full invariant sweep immediately, regardless of
+// Params.CheckInvariants, and returns the first violation found (nil if
+// the state is consistent). Tests use it directly; the driver's internal
+// hook wraps it in a panic.
+func (d *Driver) CheckNow() error {
+	for gpu, dev := range d.devs {
+		if err := dev.CheckInvariants(); err != nil {
+			return fmt.Errorf("sanitizer: GPU %d: %w", gpu, err)
+		}
+		if err := d.checkChunks(gpu, dev); err != nil {
+			return err
+		}
+	}
+	return d.checkBlocks()
+}
+
+// verify is the per-operation hook: a full sweep (subject to the sampling
+// stride) that panics on the first violation, labeled with the operation
+// that exposed it.
+func (d *Driver) verify(op string) {
+	if !d.p.CheckInvariants {
+		return
+	}
+	d.opCount++
+	if stride := d.p.CheckInvariantsEvery; stride > 1 && d.opCount%uint64(stride) != 0 {
+		return
+	}
+	if err := d.CheckNow(); err != nil {
+		panic(fmt.Sprintf("core: after %s: %v", op, err))
+	}
+}
+
+// checkChunks validates one device's chunks from the physical side:
+// queue membership vs. owner back-pointers, the deferred-unmap marker,
+// and byte conservation including non-UVM device buffers.
+func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
+	var detached []*gpudev.Chunk
+	var err error
+	dev.EachChunk(func(c *gpudev.Chunk) bool {
+		switch c.Queue() {
+		case gpudev.QueueUsed, gpudev.QueueDiscarded:
+			b, ok := c.Owner.(*vaspace.Block)
+			if !ok || b == nil {
+				err = fmt.Errorf("sanitizer: GPU %d chunk %d on %v queue has no owning block",
+					gpu, c.ID(), c.Queue())
+				return false
+			}
+			if b.Chunk != c {
+				err = fmt.Errorf("sanitizer: GPU %d chunk %d owner %s does not point back (block.Chunk=%v)",
+					gpu, c.ID(), blockName(b), chunkID(b.Chunk))
+				return false
+			}
+			if b.GPUIndex != gpu {
+				err = fmt.Errorf("sanitizer: GPU %d chunk %d owned by %s which claims GPU %d",
+					gpu, c.ID(), blockName(b), b.GPUIndex)
+				return false
+			}
+		case gpudev.QueueFree, gpudev.QueueUnused, gpudev.QueueReserved:
+			if c.Owner != nil {
+				err = fmt.Errorf("sanitizer: GPU %d chunk %d on %v queue still has owner %s",
+					gpu, c.ID(), c.Queue(), ownerName(c.Owner))
+				return false
+			}
+		case gpudev.QueueNone:
+			detached = append(detached, c)
+		}
+		if c.NeedsUnmapOnReclaim {
+			b, ok := c.Owner.(*vaspace.Block)
+			if c.Queue() != gpudev.QueueDiscarded || !ok || !b.LazyDiscard {
+				err = fmt.Errorf("sanitizer: GPU %d chunk %d (queue %v, owner %s) has NeedsUnmapOnReclaim set but is not a lazily discarded chunk",
+					gpu, c.ID(), c.Queue(), ownerName(c.Owner))
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+
+	// Detached chunks must be exactly the cudaMalloc'd device buffers
+	// (which only exist on the primary GPU); anything else is a leaked
+	// chunk that escaped every queue.
+	for _, c := range detached {
+		if gpu != 0 {
+			return fmt.Errorf("sanitizer: GPU %d chunk %d is on no queue and is not a device buffer (peer GPUs have none)",
+				gpu, c.ID())
+		}
+		if _, ok := d.deviceChunks[c]; !ok {
+			return fmt.Errorf("sanitizer: GPU 0 chunk %d is on no queue and not tracked as a device buffer: leaked",
+				c.ID())
+		}
+		if c.Owner != nil {
+			return fmt.Errorf("sanitizer: device-buffer chunk %d has owner %s", c.ID(), ownerName(c.Owner))
+		}
+	}
+	if gpu == 0 {
+		if len(detached) != len(d.deviceChunks) {
+			return fmt.Errorf("sanitizer: GPU 0 has %d detached chunks but %d tracked device-buffer chunks",
+				len(detached), len(d.deviceChunks))
+		}
+		if want := units.Size(len(d.deviceChunks)) * units.BlockSize; d.deviceAllocBytes != want {
+			return fmt.Errorf("sanitizer: deviceAllocBytes %s but %d device-buffer chunks (%s)",
+				units.Format(d.deviceAllocBytes), len(d.deviceChunks), units.Format(want))
+		}
+	}
+
+	// Byte conservation: every queue plus detached device buffers must
+	// add up to the device's capacity.
+	queued := dev.QueueLen(gpudev.QueueFree) + dev.QueueLen(gpudev.QueueUnused) +
+		dev.QueueLen(gpudev.QueueUsed) + dev.QueueLen(gpudev.QueueDiscarded) +
+		dev.QueueLen(gpudev.QueueReserved)
+	if got, want := queued+len(detached), dev.TotalChunks(); got != want {
+		return fmt.Errorf("sanitizer: GPU %d byte conservation broken: queues %d + detached %d chunks != capacity %d",
+			gpu, queued, len(detached), want)
+	}
+	return nil
+}
+
+// checkBlocks validates every live allocation's blocks from the virtual
+// side, and reconciles host DRAM accounting.
+func (d *Driver) checkBlocks() error {
+	var wantResident, wantPinned units.Size
+	for _, a := range d.space.Live() {
+		for _, b := range a.Blocks() {
+			if err := d.checkBlock(b); err != nil {
+				return err
+			}
+			if b.CPUHasPages {
+				wantResident += b.Bytes()
+			}
+			if b.CPUPinned {
+				wantPinned += b.Bytes()
+			}
+		}
+	}
+	if got := d.host.Resident(); got != wantResident {
+		return fmt.Errorf("sanitizer: host accounting: %s resident but live blocks claim %s",
+			units.Format(got), units.Format(wantResident))
+	}
+	if got := d.host.Pinned(); got != wantPinned {
+		return fmt.Errorf("sanitizer: host accounting: %s pinned but live blocks claim %s",
+			units.Format(got), units.Format(wantPinned))
+	}
+	return nil
+}
+
+func (d *Driver) checkBlock(b *vaspace.Block) error {
+	if b.CPUPinned && !b.CPUHasPages {
+		return fmt.Errorf("sanitizer: %s is pinned without host pages", blockName(b))
+	}
+	if b.LazyDiscard && !b.Discarded {
+		return fmt.Errorf("sanitizer: %s has LazyDiscard without Discarded", blockName(b))
+	}
+	if pages := int(b.Bytes() / units.PageSize); b.LivePages < 0 || b.LivePages > pages {
+		return fmt.Errorf("sanitizer: %s has LivePages %d outside [0,%d]", blockName(b), b.LivePages, pages)
+	}
+	switch b.Residency {
+	case vaspace.GPUResident:
+		c := b.Chunk
+		if c == nil {
+			return fmt.Errorf("sanitizer: %s is GPU-resident without a chunk", blockName(b))
+		}
+		if b.GPUIndex < 0 || b.GPUIndex >= len(d.devs) {
+			return fmt.Errorf("sanitizer: %s claims GPU %d of %d", blockName(b), b.GPUIndex, len(d.devs))
+		}
+		if c.Owner != b {
+			return fmt.Errorf("sanitizer: %s points at chunk %d whose owner is %s",
+				blockName(b), c.ID(), ownerName(c.Owner))
+		}
+		switch q := c.Queue(); {
+		case b.Discarded && q != gpudev.QueueDiscarded:
+			return fmt.Errorf("sanitizer: %s is discarded but its chunk %d sits on the %v queue",
+				blockName(b), c.ID(), q)
+		case !b.Discarded && q != gpudev.QueueUsed:
+			return fmt.Errorf("sanitizer: %s is live but its chunk %d sits on the %v queue",
+				blockName(b), c.ID(), q)
+		}
+		if b.Discarded && !b.LazyDiscard {
+			// §5.1: the eager discard destroyed the mappings; if any
+			// remained, a GPU touch would proceed without a fault and
+			// the driver would never observe the re-use.
+			if b.GPUMapped {
+				return fmt.Errorf("sanitizer: eagerly discarded %s is still GPU-mapped: a touch would not fault",
+					blockName(b))
+			}
+			if c.NeedsUnmapOnReclaim {
+				return fmt.Errorf("sanitizer: eagerly discarded %s carries NeedsUnmapOnReclaim on chunk %d",
+					blockName(b), c.ID())
+			}
+		}
+		if b.Discarded && b.LazyDiscard {
+			// §5.2/§5.6: lazy discard keeps the mappings and defers the
+			// unmap to reclamation.
+			if !b.GPUMapped {
+				return fmt.Errorf("sanitizer: lazily discarded %s lost its GPU mapping", blockName(b))
+			}
+			if !c.NeedsUnmapOnReclaim {
+				return fmt.Errorf("sanitizer: lazily discarded %s chunk %d is missing NeedsUnmapOnReclaim",
+					blockName(b), c.ID())
+			}
+		}
+		if !b.Discarded && !b.GPUMapped {
+			return fmt.Errorf("sanitizer: %s is GPU-resident and live but unmapped", blockName(b))
+		}
+	case vaspace.CPUResident:
+		if b.Chunk != nil {
+			return fmt.Errorf("sanitizer: %s is CPU-resident but holds GPU chunk %d",
+				blockName(b), b.Chunk.ID())
+		}
+		if !b.CPUHasPages {
+			return fmt.Errorf("sanitizer: %s is CPU-resident without host pages", blockName(b))
+		}
+		if b.GPUMapped {
+			return fmt.Errorf("sanitizer: %s is CPU-resident but still GPU-mapped", blockName(b))
+		}
+	case vaspace.Untouched:
+		if b.Chunk != nil || b.CPUHasPages || b.CPUPinned || b.GPUMapped || b.CPUMapped || b.Discarded {
+			return fmt.Errorf("sanitizer: untouched %s has physical state (chunk=%v pages=%v pinned=%v gpuMap=%v cpuMap=%v discarded=%v)",
+				blockName(b), chunkID(b.Chunk), b.CPUHasPages, b.CPUPinned, b.GPUMapped, b.CPUMapped, b.Discarded)
+		}
+	}
+	return nil
+}
+
+// silentReuseDiag names the block involved in a §5.2 protocol violation:
+// a GPU access to a lazily discarded, still-resident block. No fault
+// occurs, the driver never learns the data is live again, and a later
+// reclaim silently destroys it.
+func silentReuseDiag(b *vaspace.Block) string {
+	return fmt.Sprintf("lazy-discard protocol violation: GPU access to %s without the mandatory prefetch (UvmDiscardLazy §5.2); the write is silent and a later reclaim loses it",
+		blockName(b))
+}
+
+func blockName(b *vaspace.Block) string {
+	return fmt.Sprintf("block %d of alloc %q (id %d)", b.Index, b.Alloc.Name(), b.Alloc.ID())
+}
+
+func ownerName(o any) string {
+	if o == nil {
+		return "<nil>"
+	}
+	if b, ok := o.(*vaspace.Block); ok {
+		return blockName(b)
+	}
+	return strings.TrimSpace(fmt.Sprintf("%T", o))
+}
+
+func chunkID(c *gpudev.Chunk) string {
+	if c == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("chunk %d", c.ID())
+}

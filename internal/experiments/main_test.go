@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"uvmdiscard/internal/core"
+)
+
+// TestMain turns the core runtime sanitizer on for every driver any
+// experiment builds during tests. Full-scale reproduction runs issue
+// hundreds of thousands of driver operations over thousands of chunks, so
+// the sweep is sampled with a prime stride — corruption is still caught
+// within a ~61-operation window while the suite's wall time stays flat.
+func TestMain(m *testing.M) {
+	core.EnableInvariantChecksForTests(61)
+	os.Exit(m.Run())
+}

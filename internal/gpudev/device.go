@@ -167,6 +167,18 @@ func (d *Device) Touch(c *Chunk) {
 // stops the walk.
 func (d *Device) EachUsed(fn func(*Chunk) bool) { d.used.forEach(fn) }
 
+// EachChunk visits every chunk the device manages — whatever queue it is
+// on, including detached (queue = none) chunks — in chunk-id order; fn
+// returning false stops the walk. The core sanitizer uses this for its
+// chunk-in-exactly-one-queue and byte-conservation sweeps.
+func (d *Device) EachChunk(fn func(*Chunk) bool) {
+	for i := range d.chunks {
+		if !fn(&d.chunks[i]) {
+			return
+		}
+	}
+}
+
 // EachDiscarded visits discarded-queue chunks in FIFO order.
 func (d *Device) EachDiscarded(fn func(*Chunk) bool) { d.discarded.forEach(fn) }
 
