@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench examples repro csv ci lint clean
+.PHONY: all build test test-short test-race bench examples repro csv ci lint chaos clean
 
 all: build test
 
@@ -35,6 +35,17 @@ test:
 # Unit tests only (seconds).
 test-short:
 	$(GO) test -short ./...
+
+# The chaos harness: randomized workloads under randomized seeded fault
+# schedules with the runtime sanitizer at stride 1 (internal/core
+# chaos_test.go). CHAOS_SEED=n replays a single seed; unset runs the
+# built-in set.
+chaos:
+ifdef CHAOS_SEED
+	$(GO) test -race -count=1 -run TestChaosRandomFaults ./internal/core/ -chaos.seed $(CHAOS_SEED) -v
+else
+	$(GO) test -race -count=1 -run TestChaosRandomFaults ./internal/core/ -v
+endif
 
 # One testing.B benchmark per paper table/figure + ablations + extensions.
 bench:

@@ -10,6 +10,7 @@
 //	uvmsim -workload dl -model vgg16 -batch 60 -system PyTorch-LMS -gpu gtx1070
 //	uvmsim -workload infer -batch 64 -discard -readmostly
 //	uvmsim -workload fir -ovsp 200 -json
+//	uvmsim -workload radixsort -ovsp 200 -faults seed=7,dma=0.05,unmap=0.01,fbcap=4
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"uvmdiscard/internal/dnn"
+	"uvmdiscard/internal/faultinject"
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/lms"
 	"uvmdiscard/internal/pcie"
@@ -47,6 +49,7 @@ func main() {
 		recomp   = flag.Bool("recompute", false, "dl: train with activation recomputation")
 		readMost = flag.Bool("readmostly", false, "infer/graph: advise SetReadMostly on weights/edges")
 		weights  = flag.String("weights", "18GiB", "infer: total served model weights")
+		faults   = flag.String("faults", "", "fault-injection spec, e.g. seed=7,dma=0.02,unmap=0.005,poison=0.001,fbcap=8,slow=pcie@1ms+5ms*3")
 	)
 	flag.Parse()
 
@@ -57,6 +60,13 @@ func main() {
 	p := workloads.Platform{
 		Gen:            pcie.Generation(*gen),
 		OversubPercent: *ovsp,
+	}
+	if *faults != "" {
+		fcfg, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fail(err)
+		}
+		p.Faults = fcfg
 	}
 	switch strings.ToLower(*gpu) {
 	case "3080ti":
@@ -149,6 +159,13 @@ func report(r workloads.Result, err error) {
 			"faultH2DGB":  gb(r.FaultH2D),
 			"evictD2HGB":  gb(r.EvictD2H),
 			"remoteH2DGB": gb(r.RemoteH2D),
+			"resilience": map[string]any{
+				"migrateRetries": r.MigrateRetries,
+				"unmapRetries":   r.UnmapRetries,
+				"faultReplays":   r.FaultReplays,
+				"degradedXfers":  r.DegradedXfers,
+				"poisonedChunks": r.PoisonedChunks,
+			},
 		})
 		return
 	}
@@ -159,6 +176,10 @@ func report(r workloads.Result, err error) {
 	fmt.Printf("breakdown: fault H2D %.2f, prefetch H2D %.2f, eviction D2H %.2f, migration D2H %.2f\n",
 		gb(r.FaultH2D), gb(r.PrefetchH2D), gb(r.EvictD2H), gb(r.MigrateD2H))
 	fmt.Printf("saved by discard: H2D %.2f GB, D2H %.2f GB\n", gb(r.SavedH2D), gb(r.SavedD2H))
+	if r.MigrateRetries+r.UnmapRetries+r.FaultReplays+r.DegradedXfers+r.PoisonedChunks != 0 {
+		fmt.Printf("resilience: %d migrate retries, %d unmap reissues, %d fault replays, %d degraded, %d poisoned chunks\n",
+			r.MigrateRetries, r.UnmapRetries, r.FaultReplays, r.DegradedXfers, r.PoisonedChunks)
+	}
 }
 
 func reportTrain(r dnn.TrainResult, err error) {

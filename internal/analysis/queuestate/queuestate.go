@@ -1,9 +1,10 @@
 // Package queuestate defines an analyzer that keeps the gpudev physical
 // page-queue discipline single-owned: the queue mutators on gpudev.Device
-// (PushFree, PushUnused, PushUsed, PushDiscarded, Detach, Touch, PopFree,
-// PopUnused, PopDiscarded) may only be called from internal/core (the UVM
-// driver, which owns the §5.5 eviction/discard protocol) and
-// internal/gpudev itself (the implementation and its tests).
+// (PushFree, PushUnused, PushUsed, PushDiscarded, PushPoisoned, Detach,
+// Touch, PopFree, PopUnused, PopDiscarded) may only be called from
+// internal/core (the UVM driver, which owns the §5.5 eviction/discard
+// protocol and the poison-quarantine policy) and internal/gpudev itself
+// (the implementation and its tests).
 //
 // Everything else must go through the driver's public API so the
 // chunk-in-exactly-one-queue invariant (enforced at runtime by the core
@@ -31,6 +32,7 @@ var mutators = map[string]bool{
 	"PushUnused":    true,
 	"PushUsed":      true,
 	"PushDiscarded": true,
+	"PushPoisoned":  true,
 	"Detach":        true,
 	"Touch":         true,
 	"PopFree":       true,

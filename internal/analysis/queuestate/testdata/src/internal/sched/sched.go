@@ -22,6 +22,13 @@ func Recycle(d *gpudev.Device) {
 	}
 }
 
+// Quarantine retires a chunk behind the driver's back: the poison policy
+// (which block loses its data, and how the loss is accounted) belongs to
+// internal/core.
+func Quarantine(d *gpudev.Device, c *gpudev.Chunk) {
+	d.PushPoisoned(c) // want "queue mutator PushPoisoned outside"
+}
+
 // Peek only reads; QueueLen and LRUVictim are not mutators.
 func Peek(d *gpudev.Device) int {
 	_ = d.LRUVictim()

@@ -58,6 +58,7 @@ func (d *Driver) GPUAccess(blocks []*vaspace.Block, mode AccessMode, now sim.Tim
 // GPUAccessOn is GPUAccess targeted at a specific GPU (multi-GPU systems):
 // blocks resident on a peer migrate over the peer fabric.
 func (d *Driver) GPUAccessOn(gpu int, blocks []*vaspace.Block, mode AccessMode, now sim.Time) (sim.Time, error) {
+	now = d.maybePoison(now)
 	done, err := d.ensureGPUBlocks(blocks, now, metrics.CauseFault, true, gpu)
 	if err != nil {
 		return done, err
@@ -86,7 +87,7 @@ func (d *Driver) GPUAccessOn(gpu int, blocks []*vaspace.Block, mode AccessMode, 
 // populate zero-filled host pages. A write revives a discarded block — a
 // value written after the discard is guaranteed to be seen (§4.1).
 func (d *Driver) CPUAccess(blocks []*vaspace.Block, mode AccessMode, now sim.Time) sim.Time {
-	cur := now
+	cur := d.maybePoison(now)
 	for _, b := range blocks {
 		cur = d.ensureCPUBlock(b, cur, metrics.CauseFault, mode.writes())
 		if mode.reads() {

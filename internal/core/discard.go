@@ -88,8 +88,7 @@ func (d *Driver) discardBlock(b *vaspace.Block, now sim.Time, lazy bool) (sim.Ti
 			// Mappings stay; the unmap is deferred to reclamation.
 			c.NeedsUnmapOnReclaim = true
 		} else {
-			cur += dev.Profile().UnmapPerBlock
-			d.m.AddUnmap(1)
+			cur = d.unmapBlock(dev, cur)
 			b.GPUMapped = false
 			c.NeedsUnmapOnReclaim = false
 		}
@@ -146,8 +145,7 @@ func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now s
 			// block LivePages shows is already at 4 KiB granularity just
 			// shrinks its live set without more PTE work.
 			prof := d.devs[b.GPUIndex].Profile()
-			cur += prof.UnmapPerBlock + prof.MapPerBlock
-			d.m.AddUnmap(1)
+			cur = d.unmapBlock(d.devs[b.GPUIndex], cur) + prof.MapPerBlock
 			d.m.AddMap(1)
 		}
 		if live == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"uvmdiscard/internal/faultinject"
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/hostmem"
 	"uvmdiscard/internal/metrics"
@@ -40,6 +41,11 @@ type Config struct {
 	Metrics *metrics.Collector
 	// Trace, when non-nil, records driver events for RMT analysis.
 	Trace *trace.Recorder
+	// Faults, when non-nil and enabled, attaches a fault-injection
+	// schedule (internal/faultinject). New builds a fresh Injector from
+	// it, so a Config (and its schedule) may be shared across runs while
+	// injector state never is.
+	Faults *faultinject.Config
 }
 
 // Driver is the UVM driver model for one or more GPUs. It owns each
@@ -55,6 +61,7 @@ type Driver struct {
 	tr       *trace.Recorder
 	p        Params
 	costs    *APICosts
+	fi       *faultinject.Injector // nil when running fault-free
 
 	// dma is the migration path between host and device. Although PCIe is
 	// full duplex and the GPU has per-direction copy engines, the paper's
@@ -142,6 +149,13 @@ func New(cfg Config) (*Driver, error) {
 	if costs == nil {
 		costs = DefaultAPICosts()
 	}
+	var fi *faultinject.Injector
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		fi, err = faultinject.New(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Driver{
 		devs:         devs,
 		host:         host,
@@ -152,6 +166,7 @@ func New(cfg Config) (*Driver, error) {
 		tr:           cfg.Trace,
 		p:            p,
 		costs:        costs,
+		fi:           fi,
 		dma:          sim.NewEngine("dma"),
 		peer:         sim.NewEngine("peer-fabric"),
 		deviceChunks: make(map[*gpudev.Chunk]struct{}),
@@ -235,6 +250,7 @@ func (d *Driver) FreeManaged(a *vaspace.Alloc) error {
 		b.CPUHasPages, b.CPUPinned, b.CPUStale = false, false, false
 		b.GPUMapped, b.CPUMapped = false, false
 		b.Discarded, b.LazyDiscard = false, false
+		b.Degraded = false
 		b.LivePages = 0
 	}
 	if err := d.space.Free(a); err != nil {
@@ -296,11 +312,18 @@ func (d *Driver) DeviceAllocBytes() units.Size { return d.deviceAllocBytes }
 
 // ExplicitCopy times a cudaMemcpy of n bytes in the given direction (the
 // No-UVM programming model's transfers), returning the completion time.
+// Injected DMA failures are retried with backoff; once the budget is
+// exhausted the copy drains through the PIO path at remote-access cost. The
+// bytes are accounted exactly once regardless of how many attempts fail.
 func (d *Driver) ExplicitCopy(dir metrics.Direction, n units.Size, now sim.Time) sim.Time {
 	if n == 0 {
 		return now
 	}
-	_, end := d.dma.Reserve(now, d.link.TransferTime(uint64(n)))
+	end, ok := d.reserveTransfer(d.dma, faultinject.LinkPCIe, d.link.TransferTime(uint64(n)), now)
+	if !ok {
+		_, end = d.dma.Reserve(end, d.scaleDMA(d.link.RemoteAccessTime(uint64(n)), end))
+		d.m.AddDegraded(uint64(n))
+	}
 	d.m.AddTransfer(dir, metrics.CauseMemcpy, uint64(n))
 	return end
 }

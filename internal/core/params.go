@@ -99,6 +99,19 @@ type Params struct {
 	// hazard keep it off.
 	PanicOnSilentReuse bool
 
+	// MaxMigrateRetries bounds how many times a failed migration (an
+	// injected DMA, peer, or unmap fault — internal/faultinject) is
+	// retried before the driver gives up and degrades the access to
+	// coherent host-pinned service. Only consulted when a fault injector
+	// is attached; 0 means degrade on the first failure.
+	MaxMigrateRetries int
+
+	// MigrateRetryBackoff is the base sim-time backoff between migration
+	// retry attempts; attempt n waits backoff << (n-1) (bounded
+	// exponential, §5.7-style driver pacing). Only consulted when a fault
+	// injector is attached.
+	MigrateRetryBackoff sim.Time
+
 	// RemoteAccessMigrateThreshold enables the cache-coherent
 	// remote-access mode of §2.3 when the link is coherent and the value
 	// is positive: a GPU access to CPU-resident data is served over the
@@ -123,6 +136,8 @@ func DefaultParams() Params {
 		CPUMinorFault:           sim.Micros(1.2),
 		PageDMALatency:          sim.Micros(2.5),
 		SplitTLBPenalty:         sim.Micros(8),
+		MaxMigrateRetries:       4,
+		MigrateRetryBackoff:     sim.Micros(25),
 	}
 }
 
@@ -153,6 +168,12 @@ func (p *Params) Validate() error {
 	}
 	if p.RemoteAccessMigrateThreshold < 0 {
 		return fmt.Errorf("core: negative remote-access threshold")
+	}
+	if p.MaxMigrateRetries < 0 || p.MaxMigrateRetries > 16 {
+		return fmt.Errorf("core: MaxMigrateRetries %d outside [0,16]", p.MaxMigrateRetries)
+	}
+	if p.MigrateRetryBackoff < 0 {
+		return fmt.Errorf("core: negative migrate retry backoff")
 	}
 	if p.CheckInvariantsEvery < 0 {
 		return fmt.Errorf("core: negative sanitizer stride")

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"uvmdiscard/internal/faultinject"
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/metrics"
 	"uvmdiscard/internal/sim"
@@ -91,8 +92,7 @@ func (d *Driver) reclaimDiscarded(c *gpudev.Chunk, now sim.Time) sim.Time {
 	vb := c.Owner.(*vaspace.Block)
 	cur := now
 	if c.NeedsUnmapOnReclaim {
-		cur += d.devs[vb.GPUIndex].Profile().UnmapPerBlock
-		d.m.AddUnmap(1)
+		cur = d.unmapBlock(d.devs[vb.GPUIndex], cur)
 	}
 	d.m.AddSaved(metrics.D2H, uint64(vb.Bytes()))
 	if vb.CPUHasPages {
@@ -107,6 +107,7 @@ func (d *Driver) reclaimDiscarded(c *gpudev.Chunk, now sim.Time) sim.Time {
 	vb.GPUMapped, vb.CPUMapped = false, false
 	vb.CPUHasPages, vb.CPUPinned, vb.CPUStale = false, false, false
 	vb.Discarded, vb.LazyDiscard = false, false
+	vb.Degraded = false
 	return cur
 }
 
@@ -123,8 +124,7 @@ func (d *Driver) evictUsed(c *gpudev.Chunk, now sim.Time) sim.Time {
 		// A read-mostly duplicate: the host copy is already valid, so the
 		// GPU copy is simply dropped — no transfer (the SetReadMostly
 		// payoff under pressure).
-		cur := now + dev.Profile().UnmapPerBlock
-		d.m.AddUnmap(1)
+		cur := d.unmapBlock(dev, now)
 		if vb.CPUPinned {
 			d.host.Unpin(vb.Bytes())
 			vb.CPUPinned = false
@@ -144,9 +144,8 @@ func (d *Driver) evictUsed(c *gpudev.Chunk, now sim.Time) sim.Time {
 		// "saved by discard" D2H traffic the ablation reports.
 		d.m.AddSaved(metrics.D2H, uint64(dead))
 	}
-	cur := now + dev.Profile().UnmapPerBlock
-	d.m.AddUnmap(1)
-	_, cur = d.dma.Reserve(cur, xfer)
+	cur := d.unmapBlock(dev, now)
+	cur = d.reserveD2H(vb, xfer, cur)
 	d.m.AddTransfer(metrics.D2H, metrics.CauseEviction, uint64(bytes))
 	d.record(cur, trace.TransferD2H, vb, bytes)
 
@@ -220,6 +219,12 @@ func (d *Driver) classifyForGPU(b *vaspace.Block, gpu int, viaFault bool) blockA
 		if b.Discarded {
 			return actZero
 		}
+		if viaFault && b.Degraded {
+			// The migration retry budget was exhausted earlier: faulting
+			// accesses go remote until a prefetch re-attempts (and, on
+			// success, clears) the migration.
+			return actRemote
+		}
 		if viaFault && b.Preferred == vaspace.PreferCPU {
 			// SetPreferredLocation(CPU): the driver maps host memory for
 			// the GPU (zero-copy) rather than migrating.
@@ -270,6 +275,7 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 				misses++
 			}
 		}
+		total := misses
 		for misses > 0 {
 			n := misses
 			if n > d.p.FaultBatchBlocks {
@@ -278,6 +284,15 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 			cur += dev.Profile().FaultBatchLatency + sim.Time(n)*dev.Profile().FaultPerBlock
 			d.m.AddFaultBatch(n)
 			misses -= n
+		}
+		if d.fi != nil && total > 0 {
+			if rounds := d.fi.OverflowRounds(total); rounds > 0 {
+				// The replayable fault buffer overflowed: faults beyond its
+				// capacity were dropped by the hardware and re-raised, each
+				// replay round costing another buffer drain.
+				cur += sim.Time(rounds) * dev.Profile().FaultBatchLatency
+				d.m.AddFaultReplay(rounds)
+			}
 		}
 	}
 
@@ -289,7 +304,7 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 		if runBytes == 0 {
 			return
 		}
-		_, end := d.dma.Reserve(cur, d.link.TransferTime(uint64(runBytes)))
+		_, end := d.dma.Reserve(cur, d.scaleDMA(d.link.TransferTime(uint64(runBytes)), cur))
 		cur = end
 		d.m.AddTransfer(metrics.H2D, cause, uint64(runBytes))
 		for _, rb := range runBlocks {
@@ -331,9 +346,11 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 			// migrating (coherent hardware, or a zero-copy mapping for a
 			// PreferCPU block). Bandwidth still bounds it. Preferred
 			// blocks never promote; counter-mode blocks do.
-			_, cur = d.dma.Reserve(cur, d.link.RemoteAccessTime(uint64(b.Bytes())))
+			_, cur = d.dma.Reserve(cur, d.scaleDMA(d.link.RemoteAccessTime(uint64(b.Bytes())), cur))
 			d.m.AddTransfer(metrics.H2D, metrics.CauseRemote, uint64(b.Bytes()))
-			if b.Preferred != vaspace.PreferCPU {
+			if b.Preferred != vaspace.PreferCPU && !b.Degraded {
+				// Degraded blocks never promote on access counters: only a
+				// prefetch re-attempts the failed migration.
 				b.RemoteAccesses++
 			}
 		case actRecover:
@@ -361,6 +378,20 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 				return cur, err
 			}
 		case actTransfer:
+			// Fault injection: draw this block's migration outcome before
+			// any state transition, so a block that ends up degrading never
+			// half-commits. A failed first attempt flushes the pending
+			// coalesced run (the engine aborted mid-stream) and retries
+			// with backoff; exhaustion degrades to host-pinned access.
+			if d.fi != nil && d.fi.DMAFails() {
+				flush()
+				ready, ok := d.retryH2D(b, cur)
+				cur = ready
+				if !ok {
+					cur = d.degradeToHost(b, cur)
+					continue
+				}
+			}
 			chunk, ready, err := d.allocChunk(b, gpu, cur)
 			if err != nil {
 				return cur, err
@@ -370,7 +401,7 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 			if b.LivePages > 0 {
 				// Partial block: page-granular migration, not coalesced.
 				n, t := d.migrationCost(b)
-				_, cur = d.dma.Reserve(cur, t)
+				_, cur = d.dma.Reserve(cur, d.scaleDMA(t, cur))
 				d.m.AddTransfer(metrics.H2D, cause, uint64(n))
 				d.record(cur, trace.TransferH2D, b, n)
 				chunk.PreparedPages = units.PagesPerBlock // live pages moved, rest zeroed below cost
@@ -399,6 +430,7 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 			}
 			b.Residency = vaspace.GPUResident
 			b.GPUMapped = true
+			b.Degraded = false
 			b.RemoteAccesses = 0
 			dev.PushUsed(b.Chunk)
 		}
@@ -445,11 +477,24 @@ func (d *Driver) migratePeer(b *vaspace.Block, gpu int, now sim.Time) (sim.Time,
 	if err != nil {
 		return cur, err
 	}
-	_, cur = d.peer.Reserve(cur, d.peerLink.TransferTime(uint64(b.Bytes())))
-	d.m.AddPeer(uint64(b.Bytes()))
+	n := uint64(b.Bytes())
+	end, ok := d.reserveTransfer(d.peer, faultinject.LinkPeer, d.peerLink.TransferTime(n), cur)
+	if ok {
+		cur = end
+		d.m.AddPeer(n)
+	} else {
+		// The peer fabric will not carry this block: bounce it through
+		// host DRAM on the DMA engine instead (D2H off the source, H2D
+		// onto the target). The bounce legs are not re-injected — the
+		// degradation path must terminate.
+		_, mid := d.dma.Reserve(end, d.scaleDMA(d.link.TransferTime(n), end))
+		_, cur = d.dma.Reserve(mid, d.scaleDMA(d.link.TransferTime(n), mid))
+		d.m.AddTransfer(metrics.D2H, metrics.CauseFault, n)
+		d.m.AddTransfer(metrics.H2D, metrics.CauseFault, n)
+		d.m.AddDegraded(n)
+	}
 	d.record(cur, trace.TransferPeer, b, b.Bytes())
-	cur += src.Profile().UnmapPerBlock
-	d.m.AddUnmap(1)
+	cur = d.unmapBlock(src, cur)
 	src.Detach(oldChunk)
 	src.PushFree(oldChunk)
 	chunk.PreparedPages = units.PagesPerBlock
@@ -493,6 +538,7 @@ func (d *Driver) populateZeroed(b *vaspace.Block, gpu int, now sim.Time) (sim.Ti
 	b.GPUIndex = gpu
 	b.GPUMapped = true
 	b.CPUMapped = false
+	b.Degraded = false
 	dev.PushUsed(chunk)
 	d.record(cur, trace.ZeroFill, b, b.Bytes())
 	return cur, nil
@@ -533,7 +579,7 @@ func (d *Driver) ensureCPUBlock(b *vaspace.Block, now sim.Time, cause metrics.Ca
 			// Duplicate the block to the host, keeping the GPU copy: a
 			// D2H copy, after which reads are local on both sides.
 			bytes, xfer := d.migrationCost(b)
-			_, cur = d.dma.Reserve(cur, xfer)
+			cur = d.reserveD2H(b, xfer, cur)
 			d.m.AddTransfer(metrics.D2H, cause, uint64(bytes))
 			d.record(cur, trace.TransferD2H, b, bytes)
 			if !b.CPUHasPages {
@@ -552,8 +598,7 @@ func (d *Driver) ensureCPUBlock(b *vaspace.Block, now sim.Time, cause metrics.Ca
 			// Reclaim without transferring: saved D2H.
 			dev.Detach(c)
 			if c.NeedsUnmapOnReclaim {
-				cur += dev.Profile().UnmapPerBlock
-				d.m.AddUnmap(1)
+				cur = d.unmapBlock(dev, cur)
 			}
 			d.m.AddSaved(metrics.D2H, uint64(b.Bytes()))
 			dev.PushFree(c)
@@ -562,9 +607,8 @@ func (d *Driver) ensureCPUBlock(b *vaspace.Block, now sim.Time, cause metrics.Ca
 		} else {
 			dev.Detach(c)
 			bytes, xfer := d.migrationCost(b)
-			cur += dev.Profile().UnmapPerBlock
-			d.m.AddUnmap(1)
-			_, cur = d.dma.Reserve(cur, xfer)
+			cur = d.unmapBlock(dev, cur)
+			cur = d.reserveD2H(b, xfer, cur)
 			d.m.AddTransfer(metrics.D2H, cause, uint64(bytes))
 			d.record(cur, trace.TransferD2H, b, bytes)
 			dev.PushFree(c)

@@ -87,7 +87,7 @@ func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
 					gpu, c.ID(), blockName(b), b.GPUIndex)
 				return false
 			}
-		case gpudev.QueueFree, gpudev.QueueUnused, gpudev.QueueReserved:
+		case gpudev.QueueFree, gpudev.QueueUnused, gpudev.QueueReserved, gpudev.QueuePoisoned:
 			if c.Owner != nil {
 				err = fmt.Errorf("sanitizer: GPU %d chunk %d on %v queue still has owner %s",
 					gpu, c.ID(), c.Queue(), ownerName(c.Owner))
@@ -141,7 +141,7 @@ func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
 	// add up to the device's capacity.
 	queued := dev.QueueLen(gpudev.QueueFree) + dev.QueueLen(gpudev.QueueUnused) +
 		dev.QueueLen(gpudev.QueueUsed) + dev.QueueLen(gpudev.QueueDiscarded) +
-		dev.QueueLen(gpudev.QueueReserved)
+		dev.QueueLen(gpudev.QueueReserved) + dev.QueueLen(gpudev.QueuePoisoned)
 	if got, want := queued+len(detached), dev.TotalChunks(); got != want {
 		return fmt.Errorf("sanitizer: GPU %d byte conservation broken: queues %d + detached %d chunks != capacity %d",
 			gpu, queued, len(detached), want)
@@ -189,6 +189,11 @@ func (d *Driver) checkBlock(b *vaspace.Block) error {
 	}
 	switch b.Residency {
 	case vaspace.GPUResident:
+		if b.Degraded {
+			// Degradation is the *failure* to reach GPU residency; a block
+			// that made it must have cleared the flag.
+			return fmt.Errorf("sanitizer: %s is GPU-resident but still marked degraded", blockName(b))
+		}
 		c := b.Chunk
 		if c == nil {
 			return fmt.Errorf("sanitizer: %s is GPU-resident without a chunk", blockName(b))
@@ -247,9 +252,9 @@ func (d *Driver) checkBlock(b *vaspace.Block) error {
 			return fmt.Errorf("sanitizer: %s is CPU-resident but still GPU-mapped", blockName(b))
 		}
 	case vaspace.Untouched:
-		if b.Chunk != nil || b.CPUHasPages || b.CPUPinned || b.GPUMapped || b.CPUMapped || b.Discarded {
-			return fmt.Errorf("sanitizer: untouched %s has physical state (chunk=%v pages=%v pinned=%v gpuMap=%v cpuMap=%v discarded=%v)",
-				blockName(b), chunkID(b.Chunk), b.CPUHasPages, b.CPUPinned, b.GPUMapped, b.CPUMapped, b.Discarded)
+		if b.Chunk != nil || b.CPUHasPages || b.CPUPinned || b.GPUMapped || b.CPUMapped || b.Discarded || b.Degraded {
+			return fmt.Errorf("sanitizer: untouched %s has physical state (chunk=%v pages=%v pinned=%v gpuMap=%v cpuMap=%v discarded=%v degraded=%v)",
+				blockName(b), chunkID(b.Chunk), b.CPUHasPages, b.CPUPinned, b.GPUMapped, b.CPUMapped, b.Discarded, b.Degraded)
 		}
 	}
 	return nil

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/faultinject"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+	"uvmdiscard/internal/workloads/radixsort"
+)
+
+// faultPlatform is the quick X8 "harsh" configuration: small enough for unit
+// tests, hostile enough that every recovery policy (retry, reissue, replay)
+// actually fires — radix-sort's fault-driven strip accesses overflow the
+// 4-block buffer where a prefetch-heavy workload never would.
+func faultPlatform() (workloads.Platform, radixsort.Config) {
+	cfg := radixsort.DefaultConfig()
+	cfg.DataBytes = 256 * units.MiB
+	cfg.StripBytes = 32 * units.MiB
+	return workloads.Platform{
+		GPU:            gpudev.Generic(768 * units.MiB),
+		OversubPercent: 200,
+		Faults: &faultinject.Config{
+			Seed:              13,
+			DMAFailProb:       0.10,
+			UnmapFailProb:     0.05,
+			FaultBufferBlocks: 4,
+		},
+	}, cfg
+}
+
+// Retry/backoff determinism across the parallel runner: the same workload
+// under the same seeded fault schedule must report byte-identical metrics
+// whether experiments run serially or across 8 workers. Each run's driver
+// builds a fresh Injector from the shared schedule, so worker scheduling
+// cannot perturb the fault stream.
+func TestFaultScheduleDeterministicAcrossRunners(t *testing.T) {
+	p, cfg := faultPlatform()
+	run := Experiment{ID: "XD", Name: "fault-determinism", Run: func(Options) (*Table, error) {
+		r, err := radixsort.Run(p, workloads.UvmDiscard, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab := &Table{ID: "XD", Title: "determinism probe",
+			Header: []string{"runtime", "traffic", "retries", "reissues", "replays", "degraded"}}
+		tab.AddRow(r.Runtime.String(), fmtGB(r.TrafficBytes),
+			fmtInt(r.MigrateRetries), fmtInt(r.UnmapRetries),
+			fmtInt(r.FaultReplays), fmtInt(r.DegradedXfers))
+		return tab, nil
+	}}
+	// Several copies of the same experiment, so the -j 8 pass genuinely
+	// overlaps identical fault-injected runs on different workers.
+	selected := []Experiment{run, run, run, run, run, run}
+	serial := renderAll(t, RunAll(selected, Options{}, 1, nil))
+	parallel := renderAll(t, RunAll(selected, Options{}, 8, nil))
+	if serial != parallel {
+		t.Errorf("fault-injected runs diverge across -j:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	// Every copy must also have reported the same metrics as the first:
+	// same seed + same schedule ⇒ the same fault stream, run after run.
+	tables := strings.Split(serial, "XD: determinism probe")[1:]
+	if len(tables) != len(selected) {
+		t.Fatalf("rendered %d tables, want %d", len(tables), len(selected))
+	}
+	for i, tab := range tables {
+		if tab != tables[0] {
+			t.Errorf("run %d reported different metrics:\n%s\nvs run 0:\n%s", i, tab, tables[0])
+		}
+	}
+}
+
+// The harsh schedule must actually exercise the recovery paths — a schedule
+// that injects nothing would make the determinism test vacuous.
+func TestFaultScheduleFires(t *testing.T) {
+	p, cfg := faultPlatform()
+	r, err := radixsort.Run(p, workloads.UvmDiscard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MigrateRetries == 0 {
+		t.Error("harsh schedule produced no migrate retries")
+	}
+	if r.UnmapRetries == 0 {
+		t.Error("harsh schedule produced no unmap reissues")
+	}
+	if r.FaultReplays == 0 {
+		t.Error("harsh schedule produced no replayed fault rounds")
+	}
+	t.Logf("retries=%d reissues=%d replays=%d degraded=%d",
+		r.MigrateRetries, r.UnmapRetries, r.FaultReplays, r.DegradedXfers)
+}
+
+// With no schedule attached the resilience counters stay zero — the fault
+// machinery is invisible to fault-free baselines.
+func TestNoScheduleLeavesBaselinesUntouched(t *testing.T) {
+	p, cfg := faultPlatform()
+	p.Faults = nil
+	r, err := radixsort.Run(p, workloads.UvmDiscard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MigrateRetries != 0 || r.UnmapRetries != 0 || r.FaultReplays != 0 ||
+		r.DegradedXfers != 0 || r.PoisonedChunks != 0 {
+		t.Errorf("fault-free run reported resilience activity: %+v", r)
+	}
+}
+
+func fmtInt(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,408 @@
+// Package faultinject is the seeded, deterministic fault-injection
+// subsystem for the simulated UVM driver. A production-scale UVM stack must
+// survive exactly the conditions under which discard's savings matter most —
+// oversubscription and memory pressure — so the driver's transfer and
+// mapping paths consult an Injector at every point where real hardware can
+// fail:
+//
+//   - DMA/migration transfer failure (H2D, D2H, and peer-fabric), answered
+//     by the driver with bounded retry + exponential backoff in sim time and,
+//     after Params.MaxMigrateRetries failures, graceful degradation to
+//     coherent host-pinned access;
+//   - replayable-fault-buffer overflow, forcing the GPU to re-raise (replay)
+//     the faults that did not fit a buffer drain;
+//   - transient unmap/TLB-shootdown failure, answered by reissuing the
+//     shootdown;
+//   - ECC-style chunk poison on resident pages, answered by quarantining the
+//     chunk on the device's poisoned queue;
+//   - interconnect degradation: per-link transfer-time multipliers over a
+//     sim-time window.
+//
+// Determinism: an Injector owns one sim.RNG stream seeded from Config.Seed
+// and draws from it once per decision, in driver issue order. A Driver is
+// single-threaded per run and every run constructs its own Injector, so the
+// same (workload, seed, schedule) triple always yields the same fault
+// sequence — including across the parallel experiment runner's -j settings.
+// An Injector must never be shared between runs.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"uvmdiscard/internal/sim"
+)
+
+// LinkID names an interconnect for degradation windows.
+type LinkID int
+
+const (
+	// LinkPCIe is the CPU-GPU interconnect (the driver's DMA engine path).
+	LinkPCIe LinkID = iota
+	// LinkPeer is the GPU-to-GPU fabric.
+	LinkPeer
+)
+
+// String returns the spec-grammar name of the link.
+func (l LinkID) String() string {
+	switch l {
+	case LinkPCIe:
+		return "pcie"
+	case LinkPeer:
+		return "peer"
+	default:
+		return fmt.Sprintf("LinkID(%d)", int(l))
+	}
+}
+
+// Window degrades one link for a span of sim time: transfer durations on
+// the link are multiplied by Factor while Start <= now < Start+Dur.
+type Window struct {
+	// Link selects which interconnect degrades.
+	Link LinkID
+	// Start is the sim time the degradation begins.
+	Start sim.Time
+	// Dur is how long the degradation lasts.
+	Dur sim.Time
+	// Factor multiplies transfer durations on the link (>= 1).
+	Factor float64
+}
+
+// Config describes one fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed seeds the injector's RNG stream (0 is remapped by sim.NewRNG).
+	Seed uint64
+	// DMAFailProb is the per-attempt probability that an H2D or D2H DMA
+	// migration fails and must be retried.
+	DMAFailProb float64
+	// PeerFailProb is the per-attempt failure probability on the peer
+	// fabric (GPU-to-GPU migrations).
+	PeerFailProb float64
+	// UnmapFailProb is the per-attempt probability that an unmap/TLB
+	// shootdown does not complete and must be reissued.
+	UnmapFailProb float64
+	// PoisonProb is the per-driver-operation probability of an ECC-style
+	// uncorrectable error on one resident chunk, which the driver then
+	// quarantines on the poisoned queue.
+	PoisonProb float64
+	// FaultBufferBlocks caps the replayable fault buffer, in blocks; a
+	// fault batch larger than the cap overflows and the excess faults are
+	// replayed. Zero means the buffer never overflows.
+	FaultBufferBlocks int
+	// Windows are the interconnect degradation windows.
+	Windows []Window
+}
+
+// Enabled reports whether the schedule can inject anything at all.
+func (c *Config) Enabled() bool {
+	return c.DMAFailProb > 0 || c.PeerFailProb > 0 || c.UnmapFailProb > 0 ||
+		c.PoisonProb > 0 || c.FaultBufferBlocks > 0 || len(c.Windows) > 0
+}
+
+// Validate checks the schedule.
+func (c *Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"dma", c.DMAFailProb}, {"peer", c.PeerFailProb},
+		{"unmap", c.UnmapFailProb}, {"poison", c.PoisonProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultinject: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.FaultBufferBlocks < 0 {
+		return fmt.Errorf("faultinject: negative fault-buffer capacity %d", c.FaultBufferBlocks)
+	}
+	for i, w := range c.Windows {
+		if w.Link != LinkPCIe && w.Link != LinkPeer {
+			return fmt.Errorf("faultinject: window %d has unknown link %d", i, int(w.Link))
+		}
+		if w.Start < 0 || w.Dur <= 0 {
+			return fmt.Errorf("faultinject: window %d has invalid span [%v,+%v)", i, w.Start, w.Dur)
+		}
+		if w.Factor < 1 {
+			return fmt.Errorf("faultinject: window %d factor %v < 1 (degradation only slows a link)", i, w.Factor)
+		}
+	}
+	return nil
+}
+
+// Spec renders the schedule in the grammar ParseSpec accepts, so a schedule
+// observed in a failing run can be replayed from the CLI verbatim.
+func (c *Config) Spec() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if c.Seed != 0 {
+		add("seed", strconv.FormatUint(c.Seed, 10))
+	}
+	if c.DMAFailProb > 0 {
+		add("dma", trimFloat(c.DMAFailProb))
+	}
+	if c.PeerFailProb > 0 {
+		add("peer", trimFloat(c.PeerFailProb))
+	}
+	if c.UnmapFailProb > 0 {
+		add("unmap", trimFloat(c.UnmapFailProb))
+	}
+	if c.PoisonProb > 0 {
+		add("poison", trimFloat(c.PoisonProb))
+	}
+	if c.FaultBufferBlocks > 0 {
+		add("fbcap", strconv.Itoa(c.FaultBufferBlocks))
+	}
+	for _, w := range c.Windows {
+		add("slow", fmt.Sprintf("%s@%s+%s*%s",
+			w.Link, w.Start.Duration(), w.Dur.Duration(), trimFloat(w.Factor)))
+	}
+	return strings.Join(parts, ",")
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ParseSpec parses a fault schedule from the CLI grammar: comma-separated
+// key=value pairs.
+//
+//	seed=7            RNG seed for the fault stream
+//	dma=0.02          H2D/D2H migration failure probability per attempt
+//	peer=0.01         peer-fabric failure probability per attempt
+//	unmap=0.005       unmap/TLB-shootdown failure probability per attempt
+//	poison=0.001      per-operation ECC chunk-poison probability
+//	fbcap=8           replayable fault buffer capacity in blocks
+//	slow=pcie@1ms+5ms*3   multiply pcie transfer times by 3 during [1ms,6ms)
+//
+// slow may repeat; links are "pcie" and "peer"; times use Go duration
+// syntax. An empty spec returns a schedule that injects nothing.
+func ParseSpec(spec string) (*Config, error) {
+	cfg := &Config{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "dma":
+			cfg.DMAFailProb, err = strconv.ParseFloat(val, 64)
+		case "peer":
+			cfg.PeerFailProb, err = strconv.ParseFloat(val, 64)
+		case "unmap":
+			cfg.UnmapFailProb, err = strconv.ParseFloat(val, 64)
+		case "poison":
+			cfg.PoisonProb, err = strconv.ParseFloat(val, 64)
+		case "fbcap":
+			cfg.FaultBufferBlocks, err = strconv.Atoi(val)
+		case "slow":
+			var w Window
+			w, err = parseWindow(val)
+			cfg.Windows = append(cfg.Windows, w)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown key %q (want seed, dma, peer, unmap, poison, fbcap, slow)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad value for %s: %v", key, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// parseWindow parses "link@start+dur*factor".
+func parseWindow(s string) (Window, error) {
+	var w Window
+	linkPart, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return w, fmt.Errorf("%q: want link@start+dur*factor", s)
+	}
+	switch linkPart {
+	case "pcie":
+		w.Link = LinkPCIe
+	case "peer":
+		w.Link = LinkPeer
+	default:
+		return w, fmt.Errorf("unknown link %q (want pcie or peer)", linkPart)
+	}
+	startPart, rest, ok := strings.Cut(rest, "+")
+	if !ok {
+		return w, fmt.Errorf("%q: missing +dur", s)
+	}
+	durPart, factorPart, ok := strings.Cut(rest, "*")
+	if !ok {
+		return w, fmt.Errorf("%q: missing *factor", s)
+	}
+	start, err := time.ParseDuration(startPart)
+	if err != nil {
+		return w, err
+	}
+	dur, err := time.ParseDuration(durPart)
+	if err != nil {
+		return w, err
+	}
+	w.Start, w.Dur = sim.Time(start), sim.Time(dur)
+	w.Factor, err = strconv.ParseFloat(factorPart, 64)
+	return w, err
+}
+
+// Stats counts the faults an Injector actually delivered. The driver's
+// recovery policies must account for every one of them: each delivered
+// migration/unmap failure shows up as a retry in metrics, each overflow as
+// a replayed fault round — the chaos harness asserts the books balance.
+type Stats struct {
+	// DMAFailures counts injected H2D/D2H migration failures.
+	DMAFailures int64
+	// PeerFailures counts injected peer-fabric failures.
+	PeerFailures int64
+	// UnmapFailures counts injected unmap/TLB-shootdown failures.
+	UnmapFailures int64
+	// Overflows counts fault batches that overflowed the buffer.
+	Overflows int64
+}
+
+// Injector delivers one run's fault schedule. Not safe for concurrent use
+// and never shared between runs (same rules as sim.RNG).
+type Injector struct {
+	cfg   Config
+	rng   *sim.RNG
+	stats Stats
+}
+
+// New builds an injector for one run from a validated schedule.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}, nil
+}
+
+// Config returns the injector's schedule.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns the faults delivered so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// DMAFails draws one H2D/D2H migration attempt; true means the attempt
+// fails partway and the driver must retry or degrade.
+func (in *Injector) DMAFails() bool {
+	if in.cfg.DMAFailProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.cfg.DMAFailProb {
+		in.stats.DMAFailures++
+		return true
+	}
+	return false
+}
+
+// PeerFails draws one peer-fabric transfer attempt.
+func (in *Injector) PeerFails() bool {
+	if in.cfg.PeerFailProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.cfg.PeerFailProb {
+		in.stats.PeerFailures++
+		return true
+	}
+	return false
+}
+
+// UnmapFails draws one unmap/TLB-shootdown attempt.
+func (in *Injector) UnmapFails() bool {
+	if in.cfg.UnmapFailProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.cfg.UnmapFailProb {
+		in.stats.UnmapFailures++
+		return true
+	}
+	return false
+}
+
+// PoisonEvent draws one driver operation; true means an ECC uncorrectable
+// error hits a resident chunk now.
+func (in *Injector) PoisonEvent() bool {
+	if in.cfg.PoisonProb <= 0 {
+		return false
+	}
+	return in.rng.Float64() < in.cfg.PoisonProb
+}
+
+// PickVictim selects which of n candidate chunks the poison event hits.
+// n must be positive.
+func (in *Injector) PickVictim(n int) int { return in.rng.Intn(n) }
+
+// OverflowRounds reports how many extra buffer-drain rounds a fault batch
+// of the given size forces: faults beyond the buffer capacity are dropped
+// by the hardware and re-raised (replayed) after each drain.
+func (in *Injector) OverflowRounds(faultedBlocks int) int {
+	capacity := in.cfg.FaultBufferBlocks
+	if capacity <= 0 || faultedBlocks <= capacity {
+		return 0
+	}
+	in.stats.Overflows++
+	return (faultedBlocks - 1) / capacity
+}
+
+// Scale applies any active degradation window to a transfer duration on the
+// given link at sim time now.
+func (in *Injector) Scale(link LinkID, dur sim.Time, now sim.Time) sim.Time {
+	for _, w := range in.cfg.Windows {
+		if w.Link == link && now >= w.Start && now < w.Start+w.Dur {
+			dur = sim.Time(float64(dur) * w.Factor)
+		}
+	}
+	return dur
+}
+
+// Describe renders a one-line human-readable summary of the schedule.
+func (c *Config) Describe() string {
+	if !c.Enabled() {
+		return "no faults"
+	}
+	var parts []string
+	if c.DMAFailProb > 0 {
+		parts = append(parts, fmt.Sprintf("dma %.3g", c.DMAFailProb))
+	}
+	if c.PeerFailProb > 0 {
+		parts = append(parts, fmt.Sprintf("peer %.3g", c.PeerFailProb))
+	}
+	if c.UnmapFailProb > 0 {
+		parts = append(parts, fmt.Sprintf("unmap %.3g", c.UnmapFailProb))
+	}
+	if c.PoisonProb > 0 {
+		parts = append(parts, fmt.Sprintf("poison %.3g", c.PoisonProb))
+	}
+	if c.FaultBufferBlocks > 0 {
+		parts = append(parts, fmt.Sprintf("fbcap %d", c.FaultBufferBlocks))
+	}
+	links := map[LinkID]int{}
+	for _, w := range c.Windows {
+		links[w.Link]++
+	}
+	var names []string
+	for l, n := range links {
+		names = append(names, fmt.Sprintf("%s×%d", l, n))
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		parts = append(parts, "slow "+strings.Join(names, "+"))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/sim"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,dma=0.02,peer=0.01,unmap=0.005,poison=0.001,fbcap=8,slow=pcie@1ms+5ms*3,slow=peer@0s+2ms*1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.DMAFailProb != 0.02 || cfg.PeerFailProb != 0.01 ||
+		cfg.UnmapFailProb != 0.005 || cfg.PoisonProb != 0.001 || cfg.FaultBufferBlocks != 8 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if len(cfg.Windows) != 2 {
+		t.Fatalf("got %d windows", len(cfg.Windows))
+	}
+	w := cfg.Windows[0]
+	if w.Link != LinkPCIe || w.Start != sim.Millisecond || w.Dur != 5*sim.Millisecond || w.Factor != 3 {
+		t.Fatalf("window 0: %+v", w)
+	}
+	// The rendered spec must parse back to the same schedule.
+	again, err := ParseSpec(cfg.Spec())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", cfg.Spec(), err)
+	}
+	if again.Spec() != cfg.Spec() {
+		t.Fatalf("spec not stable: %q vs %q", again.Spec(), cfg.Spec())
+	}
+}
+
+func TestParseSpecEmptyAndErrors(t *testing.T) {
+	cfg, err := ParseSpec("")
+	if err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{
+		"dma", "dma=2", "dma=-0.1", "nope=1", "fbcap=-1",
+		"slow=pcie@1ms+5ms", "slow=nvlink@1ms+5ms*2", "slow=pcie@1ms+5ms*0.5",
+		"slow=pcie@-1ms+5ms*2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DMAFailProb: 0.3, UnmapFailProb: 0.2, PoisonProb: 0.1}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(cfg)
+	for i := 0; i < 2000; i++ {
+		switch i % 3 {
+		case 0:
+			if a.DMAFails() != b.DMAFails() {
+				t.Fatalf("draw %d diverged", i)
+			}
+		case 1:
+			if a.UnmapFails() != b.UnmapFails() {
+				t.Fatalf("draw %d diverged", i)
+			}
+		case 2:
+			if a.PoisonEvent() != b.PoisonEvent() {
+				t.Fatalf("draw %d diverged", i)
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().DMAFailures == 0 || a.Stats().UnmapFailures == 0 {
+		t.Fatalf("schedule injected nothing: %+v", a.Stats())
+	}
+}
+
+func TestZeroProbabilitiesDrawNothing(t *testing.T) {
+	in, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if in.DMAFails() || in.PeerFails() || in.UnmapFails() || in.PoisonEvent() {
+			t.Fatal("zero-probability schedule injected a fault")
+		}
+	}
+	// Zero-prob draws must not advance the RNG: stats and stream stay put.
+	if in.Stats() != (Stats{}) {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+}
+
+func TestOverflowRounds(t *testing.T) {
+	in, _ := New(Config{Seed: 1, FaultBufferBlocks: 4})
+	cases := []struct{ faults, rounds int }{
+		{0, 0}, {1, 0}, {4, 0}, {5, 1}, {8, 1}, {9, 2}, {16, 3},
+	}
+	for _, c := range cases {
+		if got := in.OverflowRounds(c.faults); got != c.rounds {
+			t.Errorf("OverflowRounds(%d) = %d, want %d", c.faults, got, c.rounds)
+		}
+	}
+	unlimited, _ := New(Config{Seed: 1})
+	if unlimited.OverflowRounds(1<<20) != 0 {
+		t.Error("uncapped buffer overflowed")
+	}
+}
+
+func TestScaleWindows(t *testing.T) {
+	in, _ := New(Config{Seed: 1, Windows: []Window{
+		{Link: LinkPCIe, Start: sim.Millisecond, Dur: sim.Millisecond, Factor: 3},
+	}})
+	base := sim.Micros(100)
+	if got := in.Scale(LinkPCIe, base, 0); got != base {
+		t.Errorf("before window: %v", got)
+	}
+	if got := in.Scale(LinkPCIe, base, sim.Millisecond); got != 3*base {
+		t.Errorf("inside window: %v, want %v", got, 3*base)
+	}
+	if got := in.Scale(LinkPCIe, base, 2*sim.Millisecond); got != base {
+		t.Errorf("after window (end exclusive): %v", got)
+	}
+	if got := in.Scale(LinkPeer, base, sim.Millisecond); got != base {
+		t.Errorf("other link scaled: %v", got)
+	}
+}

@@ -25,6 +25,11 @@ const (
 	// QueueReserved holds chunks pinned by the oversubscription knob
 	// (modeling the paper's idle GPU-memory-occupying program).
 	QueueReserved
+	// QueuePoisoned quarantines chunks hit by an ECC-style uncorrectable
+	// error (fault injection): they are retired from service, excluded
+	// from the eviction order, and never return to the free queue. The
+	// sanitizer's conservation sweep still counts them against capacity.
+	QueuePoisoned
 )
 
 // String returns a short queue name.
@@ -42,6 +47,8 @@ func (k QueueKind) String() string {
 		return "discarded"
 	case QueueReserved:
 		return "reserved"
+	case QueuePoisoned:
+		return "poisoned"
 	default:
 		return fmt.Sprintf("QueueKind(%d)", int(k))
 	}

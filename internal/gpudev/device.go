@@ -18,6 +18,7 @@ type Device struct {
 	used      chunkList // head = LRU, tail = MRU
 	discarded chunkList
 	reserved  chunkList
+	poisoned  chunkList
 }
 
 // NewDevice builds a device from a profile, with reservedBytes of capacity
@@ -56,8 +57,10 @@ func (d *Device) Profile() *Profile { return &d.profile }
 func (d *Device) TotalChunks() int { return len(d.chunks) }
 
 // UsableChunks returns the chunks available to the application (total minus
-// reserved).
-func (d *Device) UsableChunks() int { return len(d.chunks) - d.reserved.size }
+// reserved and minus any chunks retired to the poisoned queue).
+func (d *Device) UsableChunks() int {
+	return len(d.chunks) - d.reserved.size - d.poisoned.size
+}
 
 // UsableBytes returns the application-visible capacity in bytes.
 func (d *Device) UsableBytes() units.Size {
@@ -77,6 +80,8 @@ func (d *Device) QueueLen(k QueueKind) int {
 		return d.discarded.size
 	case QueueReserved:
 		return d.reserved.size
+	case QueuePoisoned:
+		return d.poisoned.size
 	default:
 		return 0
 	}
@@ -120,6 +125,10 @@ func (d *Device) Detach(c *Chunk) {
 		d.discarded.remove(c)
 	case QueueReserved:
 		d.reserved.remove(c)
+	case QueuePoisoned:
+		// Poison retires a chunk permanently: ECC page retirement has no
+		// un-retire, so nothing may pull it back into service.
+		panic(fmt.Sprintf("gpudev: detaching poisoned chunk %d: retired chunks never leave quarantine", c.id))
 	case QueueNone:
 		panic("gpudev: detaching chunk that is already detached")
 	}
@@ -134,6 +143,17 @@ func (d *Device) PushUnused(c *Chunk) { d.pushTo(&d.unused, c, QueueUnused) }
 
 // PushDiscarded places a detached chunk on the discarded FIFO.
 func (d *Device) PushDiscarded(c *Chunk) { d.pushTo(&d.discarded, c, QueueDiscarded) }
+
+// PushPoisoned quarantines a detached chunk hit by an ECC-style
+// uncorrectable error: the chunk is retired from service with all per-use
+// state cleared, reducing the device's usable capacity for the rest of the
+// run. The eviction process never consults this queue.
+func (d *Device) PushPoisoned(c *Chunk) {
+	c.Owner = nil
+	c.PreparedPages = 0
+	c.NeedsUnmapOnReclaim = false
+	d.pushTo(&d.poisoned, c, QueuePoisoned)
+}
 
 // PushFree returns a detached chunk to the free queue, clearing per-use
 // state: a freed chunk has no owner, no preparedness, no pending unmap.
@@ -186,7 +206,8 @@ func (d *Device) EachDiscarded(fn func(*Chunk) bool) { d.discarded.forEach(fn) }
 // state claims and that queue sizes add up. It is called from tests and is
 // cheap enough to sprinkle into long simulations when debugging.
 func (d *Device) CheckInvariants() error {
-	sum := d.free.size + d.unused.size + d.used.size + d.discarded.size + d.reserved.size
+	sum := d.free.size + d.unused.size + d.used.size + d.discarded.size +
+		d.reserved.size + d.poisoned.size
 	detached := 0
 	for i := range d.chunks {
 		if d.chunks[i].queue == QueueNone {
@@ -202,6 +223,7 @@ func (d *Device) CheckInvariants() error {
 	}{
 		{&d.free, QueueFree}, {&d.unused, QueueUnused}, {&d.used, QueueUsed},
 		{&d.discarded, QueueDiscarded}, {&d.reserved, QueueReserved},
+		{&d.poisoned, QueuePoisoned},
 	} {
 		n := 0
 		for c := q.l.head; c != nil; c = c.next {

@@ -337,3 +337,35 @@ func TestA100Profile(t *testing.T) {
 		t.Errorf("A100 memory = %d", p.MemoryBytes)
 	}
 }
+
+func TestPoisonedQueueQuarantine(t *testing.T) {
+	d := newTestDevice(t, 8, 0)
+	c := d.PopFree()
+	c.Owner = "victim"
+	c.PreparedPages = 3
+	c.NeedsUnmapOnReclaim = true
+	d.PushPoisoned(c)
+	if q := c.Queue(); q != QueuePoisoned {
+		t.Fatalf("queue = %v", q)
+	}
+	if c.Owner != nil || c.PreparedPages != 0 || c.NeedsUnmapOnReclaim {
+		t.Fatalf("per-use state survived quarantine: %+v", c)
+	}
+	if got := d.QueueLen(QueuePoisoned); got != 1 {
+		t.Fatalf("poisoned len = %d", got)
+	}
+	// Poison reduces usable capacity; total conservation still holds.
+	if got, want := d.UsableChunks(), 7; got != want {
+		t.Fatalf("usable = %d, want %d", got, want)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Retirement is permanent: pulling a poisoned chunk back is a bug.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detach of a poisoned chunk did not panic")
+		}
+	}()
+	d.Detach(c)
+}

@@ -136,6 +136,18 @@ type Collector struct {
 	discardCalls  int64
 	discardBlocks int64
 
+	// Fault-recovery instrumentation (internal/faultinject): every injected
+	// failure the driver survives is visible here, so the chaos harness can
+	// prove none was silently dropped.
+	migrateRetries int64  // failed DMA/peer migration attempts that were retried
+	unmapRetries   int64  // reissued unmap/TLB shootdowns
+	faultReplays   int64  // replayed fault rounds after buffer overflow
+	degradedBlocks int64  // migrations degraded to coherent host-pinned access
+	degradedBytes  uint64 // bytes served through the degradation path
+	poisonedChunks int64  // chunks quarantined by ECC-style poison
+	poisonLost     uint64 // poisoned bytes with no valid host copy (data lost)
+	poisonSaved    uint64 // poisoned bytes recovered from a valid host copy
+
 	apiTime map[string]sim.Time
 }
 
@@ -236,6 +248,85 @@ func (c *Collector) AddDiscard(blocks int) {
 	defer c.mu.Unlock()
 	c.discardCalls++
 	c.discardBlocks += int64(blocks)
+}
+
+// AddMigrateRetry records one failed DMA or peer migration attempt that the
+// driver retried (or, once retries were exhausted, degraded).
+func (c *Collector) AddMigrateRetry() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.migrateRetries++
+}
+
+// AddUnmapRetry records one reissued unmap/TLB shootdown.
+func (c *Collector) AddUnmapRetry() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.unmapRetries++
+}
+
+// AddFaultReplay records n replayed fault rounds forced by a
+// replayable-fault-buffer overflow.
+func (c *Collector) AddFaultReplay(rounds int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faultReplays += int64(rounds)
+}
+
+// AddDegraded records one block migration that fell back to coherent
+// host-pinned access after exhausting its retries.
+func (c *Collector) AddDegraded(bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degradedBlocks++
+	c.degradedBytes += bytes
+}
+
+// AddPoison records one chunk quarantined by ECC-style poison: recovered
+// bytes had a valid host copy, lost bytes did not.
+func (c *Collector) AddPoison(recovered, lost uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.poisonedChunks++
+	c.poisonSaved += recovered
+	c.poisonLost += lost
+}
+
+// MigrateRetries returns the number of retried migration attempts.
+func (c *Collector) MigrateRetries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrateRetries
+}
+
+// UnmapRetries returns the number of reissued unmap shootdowns.
+func (c *Collector) UnmapRetries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.unmapRetries
+}
+
+// FaultReplays returns the number of replayed fault rounds.
+func (c *Collector) FaultReplays() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faultReplays
+}
+
+// Degraded returns (blocks, bytes) that fell back to coherent host-pinned
+// access.
+func (c *Collector) Degraded() (blocks int64, bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degradedBlocks, c.degradedBytes
+}
+
+// Poisoned returns quarantined-chunk counts: recovered bytes had a valid
+// host copy, lost bytes did not.
+func (c *Collector) Poisoned() (chunks int64, recovered, lost uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.poisonedChunks, c.poisonSaved, c.poisonLost
 }
 
 // AddAPITime attributes host-side time to a named API.
@@ -354,6 +445,9 @@ func (c *Collector) Reset() {
 	c.zeroBlocks, c.zeroPages = 0, 0
 	c.unmapBlocks, c.mapBlocks = 0, 0
 	c.discardCalls, c.discardBlocks = 0, 0
+	c.migrateRetries, c.unmapRetries, c.faultReplays = 0, 0, 0
+	c.degradedBlocks, c.degradedBytes = 0, 0
+	c.poisonedChunks, c.poisonLost, c.poisonSaved = 0, 0, 0
 	c.apiTime = make(map[string]sim.Time)
 }
 
@@ -381,7 +475,17 @@ func (c *Collector) Snapshot() *Collector {
 		mapBlocks:     c.mapBlocks,
 		discardCalls:  c.discardCalls,
 		discardBlocks: c.discardBlocks,
-		apiTime:       make(map[string]sim.Time, len(c.apiTime)),
+
+		migrateRetries: c.migrateRetries,
+		unmapRetries:   c.unmapRetries,
+		faultReplays:   c.faultReplays,
+		degradedBlocks: c.degradedBlocks,
+		degradedBytes:  c.degradedBytes,
+		poisonedChunks: c.poisonedChunks,
+		poisonLost:     c.poisonLost,
+		poisonSaved:    c.poisonSaved,
+
+		apiTime: make(map[string]sim.Time, len(c.apiTime)),
 	}
 	for k, v := range c.apiTime {
 		s.apiTime[k] = v
@@ -418,6 +522,20 @@ func (c *Collector) Summary() string {
 		c.faultBatches, c.faultedBlocks, c.zeroBlocks, c.zeroPages)
 	fmt.Fprintf(&b, "PTE ops: %d unmapped, %d mapped; discards: %d calls over %d blocks\n",
 		c.unmapBlocks, c.mapBlocks, c.discardCalls, c.discardBlocks)
+	// Resilience lines appear only when fault injection actually fired, so
+	// fault-free runs render byte-identical summaries to earlier versions.
+	if c.migrateRetries > 0 || c.unmapRetries > 0 || c.faultReplays > 0 {
+		fmt.Fprintf(&b, "fault recovery: %d migrate retries, %d unmap reissues, %d replayed fault rounds\n",
+			c.migrateRetries, c.unmapRetries, c.faultReplays)
+	}
+	if c.degradedBlocks > 0 {
+		fmt.Fprintf(&b, "degraded to host-pinned: %d transfers, %.2f GB\n",
+			c.degradedBlocks, units.GB(c.degradedBytes))
+	}
+	if c.poisonedChunks > 0 {
+		fmt.Fprintf(&b, "poisoned chunks: %d quarantined (%.2f GB recovered from host, %.2f GB lost)\n",
+			c.poisonedChunks, units.GB(c.poisonSaved), units.GB(c.poisonLost))
+	}
 	if len(c.apiTime) > 0 {
 		names := make([]string, 0, len(c.apiTime))
 		for k := range c.apiTime {

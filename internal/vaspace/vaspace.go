@@ -127,6 +127,12 @@ type Block struct {
 	// collapses the duplication.
 	ReadMostly bool
 
+	// Degraded marks a CPU-resident block whose migration to the GPU
+	// exhausted its retry budget (fault injection): until a prefetch
+	// succeeds, faulting GPU accesses are served over the interconnect at
+	// coherent host-pinned cost instead of re-attempting the migration.
+	Degraded bool
+
 	// RemoteAccesses counts GPU accesses served remotely over a coherent
 	// interconnect since the block last became CPU-resident; the driver's
 	// access-counter policy migrates the block once it crosses a

@@ -11,6 +11,7 @@ import (
 	"uvmdiscard/internal/advisor"
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/faultinject"
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/metrics"
 	"uvmdiscard/internal/pcie"
@@ -102,6 +103,10 @@ type Platform struct {
 	// Params overrides the driver's policy parameters (ablations); nil
 	// uses core.DefaultParams.
 	Params *core.Params
+	// Faults attaches a fault-injection schedule (internal/faultinject):
+	// every context built from the platform gets its own fresh Injector
+	// from this shared schedule, preserving run isolation.
+	Faults *faultinject.Config
 }
 
 // DefaultPlatform is the paper's primary evaluation machine: 3080 Ti on
@@ -148,6 +153,7 @@ func (p Platform) NewContext(appBytes units.Size) (*cuda.Context, error) {
 		ReservedBytes: reserved,
 		Link:          pcie.Preset(gen),
 		Params:        p.Params,
+		Faults:        p.Faults,
 	}
 	if p.TraceRMT {
 		cfg.Trace = trace.NewRecorder()
@@ -179,6 +185,17 @@ type Result struct {
 	// Trace is the raw driver trace when tracing was enabled (for JSON
 	// export and offline re-analysis).
 	Trace *trace.Recorder
+
+	// Resilience counters, all zero when no fault schedule is attached:
+	// retried migrations, reissued unmaps, replayed fault rounds, transfers
+	// degraded to coherent host-pinned access, and quarantined chunks.
+	MigrateRetries int64
+	UnmapRetries   int64
+	FaultReplays   int64
+	DegradedXfers  int64
+	DegradedBytes  uint64
+	PoisonedChunks int64
+	PoisonLostB    uint64
 }
 
 // TrafficGB returns traffic in decimal GB, as the paper reports it.
@@ -216,6 +233,12 @@ func Collect(sys System, ctx *cuda.Context) Result {
 		RemoteH2D:    m.Bytes(metrics.H2D, metrics.CauseRemote),
 		MigrateD2H:   m.Bytes(metrics.D2H, metrics.CauseFault) + m.Bytes(metrics.D2H, metrics.CausePrefetch),
 	}
+	r.MigrateRetries = m.MigrateRetries()
+	r.UnmapRetries = m.UnmapRetries()
+	r.FaultReplays = m.FaultReplays()
+	r.DegradedXfers, r.DegradedBytes = m.Degraded()
+	poisoned, _, lost := m.Poisoned()
+	r.PoisonedChunks, r.PoisonLostB = poisoned, lost
 	if tr := ctx.Driver().Trace(); tr != nil {
 		a := trace.Analyze(tr)
 		r.Analysis = &a
