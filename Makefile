@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench examples repro csv ci lint chaos clean
+.PHONY: all build test test-short test-race bench examples repro csv ci lint chaos smoke-service clean
 
 all: build test
 
@@ -46,6 +46,13 @@ ifdef CHAOS_SEED
 else
 	$(GO) test -race -count=1 -run TestChaosRandomFaults ./internal/core/ -v
 endif
+
+# End-to-end crash-safety smoke for the uvmsimd service: build the daemon,
+# submit a journaled batch, SIGKILL it mid-batch, restart, resubmit, and
+# assert the resumed output is byte-identical to an uninterrupted
+# sequential run (cmd/uvmsimd/smoke_test.go).
+smoke-service:
+	$(GO) test -count=1 -run TestSmokeKillResume ./cmd/uvmsimd -v
 
 # One testing.B benchmark per paper table/figure + ablations + extensions.
 bench:

@@ -18,13 +18,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"uvmdiscard/internal/experiments"
@@ -32,15 +35,22 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "comma-separated experiment IDs or names (default: all)")
-		quick  = flag.Bool("quick", false, "scaled-down problem sizes")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		out    = flag.String("o", "", "also write results to this file")
-		csvDir = flag.String("csv", "", "also write each table as <dir>/<id>.csv for plotting")
-		chart  = flag.Bool("chart", false, "render figure experiments as terminal bar charts")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "run experiments across this many workers")
+		run     = flag.String("run", "", "comma-separated experiment IDs or names (default: all)")
+		quick   = flag.Bool("quick", false, "scaled-down problem sizes")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		out     = flag.String("o", "", "also write results to this file")
+		csvDir  = flag.String("csv", "", "also write each table as <dir>/<id>.csv for plotting")
+		chart   = flag.Bool("chart", false, "render figure experiments as terminal bar charts")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "run experiments across this many workers")
+		journal = flag.String("journal", "", "crash-safe batch journal: completed experiments are appended here and skipped on re-run")
 	)
 	flag.Parse()
+
+	// Interrupt/terminate cancels in-flight simulations at their next driver
+	// checkpoint instead of killing the process mid-table; with -journal the
+	// finished work is already on disk and a re-run resumes from it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -83,13 +93,32 @@ func main() {
 	opts := experiments.Options{Quick: *quick}
 	fmt.Fprintf(w, "uvmdiscard paperbench — reproducing IISWC'22 \"UVM Discard\" (quick=%v)\n\n", *quick)
 
+	var jnl *experiments.Journal
+	if *journal != "" {
+		var err error
+		jnl, err = experiments.OpenJournal(*journal, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer jnl.Close()
+		if n := jnl.Resumed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "paperbench: resuming, %d experiments already journaled in %s\n", n, *journal)
+		}
+	}
+
 	//uvmlint:ignore simdet host-side wall time for the progress banner, not simulated time
 	started := time.Now()
 	done := 0
-	results := experiments.RunAll(selected, opts, *jobs, func(r experiments.RunResult) {
+	results := experiments.RunAllJournaled(ctx, selected, opts, *jobs, jnl, func(r experiments.RunResult) {
 		done++
 		status := "ok"
-		if r.Err != nil {
+		switch {
+		case r.Resumed:
+			status = "resumed"
+		case r.Interrupted():
+			status = "canceled"
+		case r.Err != nil:
 			status = "FAILED"
 		}
 		fmt.Fprintf(os.Stderr, "[%d/%d] %-4s %-28s %s (%v)\n",

@@ -1,0 +1,95 @@
+// Command uvmsimd is the uvmdiscard simulation service: a long-running
+// HTTP/JSON daemon that runs workload simulations and experiment batches on
+// a bounded worker pool with production-grade robustness — load shedding
+// under backpressure (503 + Retry-After), per-run wall-clock deadlines and
+// sim-time budgets enforced by a watchdog inside the driver loop, per-request
+// panic isolation, graceful shutdown (in-flight runs drain, queued runs are
+// shed), and crash-safe batch journals: a batch killed mid-run (kill -9
+// included) resumes from its journal and renders byte-identical output.
+//
+// Endpoints:
+//
+//	POST   /v1/runs         {"workload":"fir","system":"UvmDiscard","ovsp":200,"quick":true}
+//	POST   /v1/batches      {"experiments":["T3","T4"],"quick":true,"journal":"nightly"}
+//	GET    /v1/jobs         list jobs
+//	GET    /v1/jobs/{id}    job status, output when finished
+//	DELETE /v1/jobs/{id}    cancel a queued or running job
+//	GET    /v1/experiments  available experiment IDs
+//	GET    /v1/metrics      admission/outcome counters
+//	GET    /healthz         ok | draining
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uvmdiscard/internal/service"
+	"uvmdiscard/internal/sim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8077", "listen address (use :0 for an ephemeral port)")
+		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "admission queue depth; submits beyond it are shed with 503")
+		journalDir = flag.String("journal-dir", "", "directory for crash-safe batch journals (empty disables)")
+		wallBudget = flag.Duration("wall-budget", 2*time.Minute, "default per-job wall-clock deadline")
+		simBudget  = flag.Duration("sim-budget", 0, "default per-run simulated-time budget (0 = unlimited)")
+		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "uvmsimd: ", log.LstdFlags)
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			logger.Fatalf("journal dir: %v", err)
+		}
+	}
+	srv := service.New(service.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		JournalDir:        *journalDir,
+		DefaultWallBudget: *wallBudget,
+		DefaultSimBudget:  sim.Time(*simBudget),
+		Log:               logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	// The smoke harness parses this line to discover an ephemeral port.
+	fmt.Printf("uvmsimd listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining in-flight runs, shedding queue")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain window expired, in-flight runs canceled: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = hs.Shutdown(shutCtx)
+	logger.Printf("bye")
+}

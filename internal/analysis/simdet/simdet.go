@@ -7,6 +7,12 @@
 //
 // Deliberate wall-clock uses (e.g. reporting how long an experiment took on
 // the host) carry an `//uvmlint:ignore simdet <reason>` suppression.
+//
+// The deadline/watchdog layer is allowlisted as whole packages rather than
+// line by line: internal/runctl (the wall-deadline watchdog), internal/
+// service, and cmd/uvmsimd (the uvmsimd control plane) exist to impose real
+// time on simulations from the outside, so wall-clock reads are their job.
+// The math/rand ban still applies to them — only the clock is exempted.
 package simdet
 
 import (
@@ -28,10 +34,22 @@ var Analyzer = &analysis.Analyzer{
 // time.Sleep-free formatting helpers, etc. remain fine.
 var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// wallClockAllowed lists the host-side control-plane packages whose purpose
+// is to impose wall-clock deadlines on simulations from outside the
+// simulated timeline: the runctl watchdog and the uvmsimd service. The
+// exemption is exact-match and covers only the clock — math/rand stays
+// banned in these packages like everywhere else under internal/ and cmd/.
+var wallClockAllowed = map[string]bool{
+	"internal/runctl":  true,
+	"internal/service": true,
+	"cmd/uvmsimd":      true,
+}
+
 func run(pass *analysis.Pass) error {
 	if !inScope(pass.PkgPath) {
 		return nil
 	}
+	allowWall := wallClockAllowed[pass.PkgPath]
 	for _, f := range pass.Files {
 		// Importing math/rand at all is a violation: sim.RNG is the only
 		// sanctioned randomness source, seeded and forkable.
@@ -41,6 +59,9 @@ func run(pass *analysis.Pass) error {
 				pass.Reportf(imp.Pos(),
 					"import of %s is forbidden in simulation code: use sim.RNG (Fork per goroutine) for determinism", p)
 			}
+		}
+		if allowWall {
+			continue
 		}
 		timeName := analysis.ImportName(f, "time")
 		if timeName == "" || timeName == "_" {

@@ -1,0 +1,21 @@
+// Package runctl mirrors the real watchdog package's path: it is on the
+// simdet wall-clock allowlist, so time.Now/Since/Until are clean here —
+// but math/rand stays banned even for allowlisted packages.
+package runctl
+
+import (
+	"math/rand" // want "import of math/rand is forbidden"
+	"time"
+)
+
+// Deadline reads the wall clock freely: enforcing real deadlines on
+// simulations is this package's purpose.
+func Deadline(start time.Time, budget time.Duration) bool {
+	if time.Since(start) > budget {
+		return true
+	}
+	return time.Now().After(start.Add(budget))
+}
+
+// Jitter must still not use math/rand.
+func Jitter() int { return rand.Intn(4) }

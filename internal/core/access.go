@@ -58,6 +58,7 @@ func (d *Driver) GPUAccess(blocks []*vaspace.Block, mode AccessMode, now sim.Tim
 // GPUAccessOn is GPUAccess targeted at a specific GPU (multi-GPU systems):
 // blocks resident on a peer migrate over the peer fabric.
 func (d *Driver) GPUAccessOn(gpu int, blocks []*vaspace.Block, mode AccessMode, now sim.Time) (sim.Time, error) {
+	d.checkpoint("GPUAccess", now)
 	now = d.maybePoison(now)
 	done, err := d.ensureGPUBlocks(blocks, now, metrics.CauseFault, true, gpu)
 	if err != nil {
@@ -89,6 +90,7 @@ func (d *Driver) GPUAccessOn(gpu int, blocks []*vaspace.Block, mode AccessMode, 
 func (d *Driver) CPUAccess(blocks []*vaspace.Block, mode AccessMode, now sim.Time) sim.Time {
 	cur := d.maybePoison(now)
 	for _, b := range blocks {
+		d.checkpoint("CPUAccess", cur)
 		cur = d.ensureCPUBlock(b, cur, metrics.CauseFault, mode.writes())
 		if mode.reads() {
 			d.record(cur, trace.CPURead, b, b.Bytes())
@@ -119,6 +121,7 @@ func (d *Driver) PrefetchToGPU(a *vaspace.Alloc, off, length uint64, now sim.Tim
 
 // PrefetchToGPUOn prefetches toward a specific GPU.
 func (d *Driver) PrefetchToGPUOn(gpu int, a *vaspace.Alloc, off, length uint64, now sim.Time) (sim.Time, error) {
+	d.checkpoint("PrefetchToGPU", now)
 	blocks, err := a.BlockRange(off, length, false)
 	if err != nil {
 		return now, err
@@ -139,6 +142,7 @@ func (d *Driver) PrefetchToCPU(a *vaspace.Alloc, off, length uint64, now sim.Tim
 	}
 	cur := now
 	for _, b := range blocks {
+		d.checkpoint("PrefetchToCPU", cur)
 		cur = d.ensureCPUBlock(b, cur, metrics.CausePrefetch, false)
 	}
 	d.verify("PrefetchToCPU")

@@ -26,6 +26,7 @@ func (d *Driver) DiscardLazy(a *vaspace.Alloc, off, length uint64, now sim.Time)
 }
 
 func (d *Driver) discard(a *vaspace.Alloc, off, length uint64, now sim.Time, lazy bool) (sim.Time, error) {
+	d.checkpoint("Discard", now)
 	// The driver prefers whole 2 MiB regions and ignores partial ones to
 	// avoid splitting big mappings (§5.4); the AllowPartialDiscard
 	// ablation splits instead.

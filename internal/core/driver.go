@@ -8,6 +8,7 @@ import (
 	"uvmdiscard/internal/hostmem"
 	"uvmdiscard/internal/metrics"
 	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/trace"
 	"uvmdiscard/internal/units"
@@ -46,6 +47,13 @@ type Config struct {
 	// it, so a Config (and its schedule) may be shared across runs while
 	// injector state never is.
 	Faults *faultinject.Config
+	// Control, when non-nil, attaches a run control (internal/runctl):
+	// the driver loop polls it at operation boundaries and aborts the run
+	// with a structured *runctl.Interrupt once the run's context is
+	// canceled or a wall-clock / sim-time budget is exhausted. Unlike
+	// Faults, a Control is stateful and single-threaded: it must be fresh
+	// per run and never shared between concurrent runs.
+	Control *runctl.Control
 }
 
 // Driver is the UVM driver model for one or more GPUs. It owns each
@@ -62,6 +70,7 @@ type Driver struct {
 	p        Params
 	costs    *APICosts
 	fi       *faultinject.Injector // nil when running fault-free
+	ctl      *runctl.Control       // nil when the run is unbounded
 
 	// dma is the migration path between host and device. Although PCIe is
 	// full duplex and the GPU has per-direction copy engines, the paper's
@@ -167,6 +176,7 @@ func New(cfg Config) (*Driver, error) {
 		p:            p,
 		costs:        costs,
 		fi:           fi,
+		ctl:          cfg.Control,
 		dma:          sim.NewEngine("dma"),
 		peer:         sim.NewEngine("peer-fabric"),
 		deviceChunks: make(map[*gpudev.Chunk]struct{}),
@@ -208,6 +218,25 @@ func (d *Driver) Costs() *APICosts { return d.costs }
 
 // Params returns the active policy parameters.
 func (d *Driver) Params() Params { return d.p }
+
+// Control returns the run control (may be nil).
+func (d *Driver) Control() *runctl.Control { return d.ctl }
+
+// checkpoint polls the run control at a driver operation boundary. All
+// call sites sit at points where the memory-management state is
+// self-consistent (between per-block transitions, before an eviction pops a
+// queue), so an aborted run always passes the runtime sanitizer — the
+// invariant the service's deadline tests pin down. The abort is a typed
+// panic that runctl.Recover converts back into an error at the workload
+// boundary; it never escapes to callers as a panic.
+func (d *Driver) checkpoint(op string, now sim.Time) {
+	if d.ctl == nil {
+		return
+	}
+	if i := d.ctl.Check(op, now); i != nil {
+		runctl.Abort(i)
+	}
+}
 
 // EngineDMA exposes the shared migration engine (for utilization
 // reporting).
@@ -319,6 +348,7 @@ func (d *Driver) ExplicitCopy(dir metrics.Direction, n units.Size, now sim.Time)
 	if n == 0 {
 		return now
 	}
+	d.checkpoint("ExplicitCopy", now)
 	end, ok := d.reserveTransfer(d.dma, faultinject.LinkPCIe, d.link.TransferTime(uint64(n)), now)
 	if !ok {
 		_, end = d.dma.Reserve(end, d.scaleDMA(d.link.RemoteAccessTime(uint64(n)), end))

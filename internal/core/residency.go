@@ -22,6 +22,11 @@ var ErrOutOfGPUMemory = fmt.Errorf("core: GPU memory exhausted and nothing is ev
 // discarded queue (no transfer either way), then swap-out of the LRU used
 // chunk (a D2H transfer). Returns the chunk and the time it is ready.
 func (d *Driver) allocChunk(b *vaspace.Block, gpu int, now sim.Time) (*gpudev.Chunk, sim.Time, error) {
+	// Run-control checkpoint inside the eviction process: under memory
+	// pressure a single access can trigger a long train of evictions, and a
+	// deadline must be able to stop the run between them. The queues are
+	// consistent here — nothing has been popped for this allocation yet.
+	d.checkpoint("evict", now)
 	dev := d.devs[gpu]
 	if c := dev.PopFree(); c != nil {
 		d.m.AddEviction(metrics.EvictFree)
@@ -314,6 +319,7 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 	}
 
 	for _, b := range blocks {
+		d.checkpoint("ensure-gpu", cur)
 		act := d.classifyForGPU(b, gpu, viaFault)
 		if act != actTransfer || b.LivePages > 0 {
 			flush()

@@ -7,6 +7,7 @@ import (
 	"uvmdiscard/internal/cuda"
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -33,7 +34,8 @@ type DataParallelConfig struct {
 // the peer fabric and a local weight update. Oversubscription pressure is
 // per-GPU: sharding the batch shrinks each replica's footprint, which —
 // like recomputation — reduces the RMTs discard would otherwise eliminate.
-func TrainDataParallel(gpu gpudev.Profile, gen pcie.Generation, sys workloads.System, cfg DataParallelConfig) (TrainResult, error) {
+func TrainDataParallel(gpu gpudev.Profile, gen pcie.Generation, sys workloads.System, cfg DataParallelConfig) (out TrainResult, err error) {
+	defer runctl.Recover(&err)
 	if cfg.Model == nil || cfg.GlobalBatch <= 0 || cfg.GPUs <= 0 {
 		return TrainResult{}, fmt.Errorf("dnn: invalid data-parallel config %+v", cfg)
 	}

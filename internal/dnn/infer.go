@@ -7,6 +7,7 @@ import (
 	"uvmdiscard/internal/cuda"
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -82,7 +83,8 @@ func LargeModel(total units.Size, layers int) *ModelSpec {
 }
 
 // Infer serves Requests forward passes and reports throughput and traffic.
-func Infer(p workloads.Platform, cfg InferConfig) (TrainResult, error) {
+func Infer(p workloads.Platform, cfg InferConfig) (out TrainResult, err error) {
+	defer runctl.Recover(&err)
 	if cfg.Model == nil || cfg.Batch <= 0 {
 		return TrainResult{}, fmt.Errorf("dnn: invalid inference config %+v", cfg)
 	}

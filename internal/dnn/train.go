@@ -5,6 +5,7 @@ import (
 
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -54,7 +55,8 @@ type TrainResult struct {
 //
 // All DL discards are paired with the prefetch that repurposes the buffer
 // on its next use, so UvmDiscardLazy replaces every one of them (§7.5).
-func Train(p workloads.Platform, sys workloads.System, cfg TrainConfig) (TrainResult, error) {
+func Train(p workloads.Platform, sys workloads.System, cfg TrainConfig) (res TrainResult, err error) {
+	defer runctl.Recover(&err)
 	if cfg.Model == nil || cfg.Batch <= 0 {
 		return TrainResult{}, fmt.Errorf("dnn: invalid config %+v", cfg)
 	}

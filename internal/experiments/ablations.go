@@ -50,7 +50,7 @@ func runAblationEvictionOrder(o Options) (*Table, error) {
 		params := core.DefaultParams()
 		params.EvictionOrder = spec.order
 		p := workloads.Platform{GPU: gpu, OversubPercent: 300, Params: &params}
-		r, err := fir.Run(p, workloads.UvmDiscard, cfg)
+		r, err := fir.Run(o.arm(p), workloads.UvmDiscard, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +91,7 @@ func runAblationImmediateReclaim(o Options) (*Table, error) {
 		params := core.DefaultParams()
 		params.ImmediateReclaim = spec.immediate
 		p := workloads.Platform{GPU: gpu, OversubPercent: 0, Params: &params}
-		r, err := radixsort.Run(p, workloads.UvmDiscard, cfg)
+		r, err := radixsort.Run(o.arm(p), workloads.UvmDiscard, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -257,7 +257,7 @@ func runAblationFaultBatch(o Options) (*Table, error) {
 		params := core.DefaultParams()
 		params.FaultBatchBlocks = batch
 		p := workloads.Platform{GPU: gpu, OversubPercent: 200, Params: &params}
-		r, err := radixsort.Run(p, workloads.UVMOpt, cfg)
+		r, err := radixsort.Run(o.arm(p), workloads.UVMOpt, cfg)
 		if err != nil {
 			return nil, err
 		}

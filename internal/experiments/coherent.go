@@ -52,7 +52,7 @@ func runCoherentRemote(o Options) (*Table, error) {
 			p := workloads.Platform{
 				GPU: gpu, Gen: link.gen, OversubPercent: 200, Params: &params,
 			}
-			r, err := radixsort.Run(p, sys, cfg)
+			r, err := radixsort.Run(o.arm(p), sys, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -40,9 +40,9 @@ func dlModels(o Options) ([]*dnn.ModelSpec, map[string][]int, workloads.Platform
 		m := quickModel()
 		return []*dnn.ModelSpec{m},
 			map[string][]int{m.Name: {8, 24, 48, 72}},
-			workloads.Platform{GPU: gpudev.Generic(512 * units.MiB), Gen: pcie.Gen4}
+			o.arm(workloads.Platform{GPU: gpudev.Generic(512 * units.MiB), Gen: pcie.Gen4})
 	}
-	return dnn.Zoo(), dlBatches, workloads.DefaultPlatform()
+	return dnn.Zoo(), dlBatches, o.arm(workloads.DefaultPlatform())
 }
 
 func quickModel() *dnn.ModelSpec {
@@ -78,6 +78,7 @@ func runFigure3(o Options) (*Table, error) {
 		batches = []int{8, 24, 48, 72}
 		p = workloads.Platform{GPU: gpudev.Generic(512 * units.MiB), Gen: pcie.Gen4}
 	}
+	p = o.arm(p)
 	p.TraceRMT = true
 	t := &Table{
 		ID:     "F3",
@@ -195,6 +196,7 @@ func runTable1(o Options) (*Table, error) {
 		p = workloads.Platform{GPU: gpudev.Generic(512 * units.MiB), Gen: pcie.Gen3}
 		steps = 4
 	}
+	p = o.arm(p)
 	t := &Table{
 		ID:     "T1",
 		Title:  fmt.Sprintf("Throughput(img/s)/PCIe traffic(GB) of training %s on %s", model.Name, p.GPU.Name),

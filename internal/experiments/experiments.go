@@ -7,11 +7,17 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
+
+	"uvmdiscard/internal/runctl"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/workloads"
 )
 
 // Options tunes experiment execution.
@@ -20,6 +26,31 @@ type Options struct {
 	// (used by unit tests); the full-size runs reproduce the paper's
 	// magnitudes.
 	Quick bool
+	// Ctx, when non-nil, cancels in-flight simulations: the driver loop
+	// polls it at operation boundaries and aborts the run with a structured
+	// *runctl.Interrupt error. RunAll fills this in from its own context
+	// when left nil.
+	Ctx context.Context
+	// WallBudget caps the host wall-clock time of the runs armed from these
+	// options (the watchdog that kills runaway simulations); zero means no
+	// wall deadline.
+	WallBudget time.Duration
+	// SimBudget caps each run's simulated time; zero means no budget.
+	SimBudget sim.Time
+}
+
+// arm attaches a fresh run control to a platform when the options carry a
+// cancellation or budget source; with nothing to enforce it returns p
+// unchanged, so default runs take the exact code path they always did.
+// Experiments call this at every Platform construction site — a control is
+// single-threaded mutable state and must never be shared across concurrent
+// runs, so each site gets its own.
+func (o Options) arm(p workloads.Platform) workloads.Platform {
+	if o.Ctx == nil && o.WallBudget <= 0 && o.SimBudget <= 0 {
+		return p
+	}
+	p.Control = runctl.New(o.Ctx, o.WallBudget, o.SimBudget)
+	return p
 }
 
 // Table is a rendered experiment result.

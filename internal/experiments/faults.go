@@ -68,7 +68,7 @@ func runFaultResilience(o Options) (*Table, error) {
 		var base workloads.Result
 		for _, sys := range []workloads.System{workloads.UVMOpt, workloads.UvmDiscard} {
 			p := workloads.Platform{GPU: gpu, OversubPercent: 200, Faults: sched.fault}
-			r, err := radixsort.Run(p, sys, cfg)
+			r, err := radixsort.Run(o.arm(p), sys, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -54,8 +54,8 @@ func TestFaultScheduleDeterministicAcrossRunners(t *testing.T) {
 	// Several copies of the same experiment, so the -j 8 pass genuinely
 	// overlaps identical fault-injected runs on different workers.
 	selected := []Experiment{run, run, run, run, run, run}
-	serial := renderAll(t, RunAll(selected, Options{}, 1, nil))
-	parallel := renderAll(t, RunAll(selected, Options{}, 8, nil))
+	serial := renderAll(t, RunAll(nil, selected, Options{}, 1, nil))
+	parallel := renderAll(t, RunAll(nil, selected, Options{}, 8, nil))
 	if serial != parallel {
 		t.Errorf("fault-injected runs diverge across -j:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)

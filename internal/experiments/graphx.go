@@ -28,6 +28,7 @@ func runGraphTraversal(o Options) (*Table, error) {
 		cfg.VertexBytes = 16 * units.MiB
 		p.GPU = gpudev.Generic(384 * units.MiB)
 	}
+	p = o.arm(p)
 	t := &Table{
 		ID:    "X7",
 		Title: "Extension: out-of-core graph traversal (read-only edge partitions)",

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalRecord is one line of the batch journal: a finished experiment's
+// rendered table, keyed by artifact ID and the Quick flag it ran under. The
+// Table is stored losslessly (every field is exported), so a resumed batch
+// re-renders the exact bytes the original run would have produced.
+type journalRecord struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Quick bool   `json:"quick"`
+	Table *Table `json:"table"`
+}
+
+// Journal is an append-only, fsync-per-record JSON-lines log of completed
+// experiment results, the crash-safety mechanism behind resumable batches:
+// a batch killed mid-run (including kill -9) is re-submitted with the same
+// journal and skips every experiment whose record reached the disk,
+// producing byte-identical final output.
+//
+// Only successful results are journaled. An experiment that failed, was
+// canceled, or hit a deadline re-runs on resume — an interrupted run is a
+// fact about the interruption, not a result worth replaying.
+//
+// A Journal is safe for concurrent Record calls (RunAll's progress callback
+// already serializes them, but the journal does not rely on that).
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	quick bool
+	done  map[string]*Table
+}
+
+// OpenJournal opens (creating if needed) the journal at path and loads the
+// records previously completed under the same quick flag. A torn trailing
+// line — the signature of a crash mid-write — is truncated away and the
+// experiment it belonged to simply re-runs; corruption anywhere earlier is
+// an error, since silently skipping a record would resurrect completed work
+// and corrupt the resumed output.
+func OpenJournal(path string, quick bool) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	done := make(map[string]*Table)
+	valid := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No terminating newline: the process died mid-write. Drop it.
+			break
+		}
+		line := data[off : off+nl]
+		var rec journalRecord
+		if uerr := json.Unmarshal(line, &rec); uerr != nil || rec.ID == "" || rec.Table == nil {
+			if off+nl+1 == len(data) {
+				// A complete but unparsable final line is the same torn-write
+				// crash signature (the newline made it out, the payload did
+				// not); re-run that experiment rather than refuse the journal.
+				break
+			}
+			return nil, fmt.Errorf("journal %s: corrupt record at byte %d: %v", path, off, uerr)
+		}
+		if rec.Quick == quick {
+			done[rec.ID] = rec.Table
+		}
+		off += nl + 1
+		valid = off
+	}
+	if valid < len(data) {
+		if terr := os.Truncate(path, int64(valid)); terr != nil {
+			return nil, fmt.Errorf("journal: truncating torn record: %w", terr)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, quick: quick, done: done}, nil
+}
+
+// Resumed returns how many completed experiments the journal carried when
+// it was opened (plus any recorded since), i.e. how much work a resumed
+// batch skips.
+func (j *Journal) Resumed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Done returns the journaled table for an experiment ID, if present.
+func (j *Journal) Done(id string) (*Table, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t, ok := j.done[id]
+	return t, ok
+}
+
+// Record appends one successful result and forces it to stable storage
+// before returning — after Record returns, a kill -9 cannot lose the
+// entry. Failed or interrupted results are ignored.
+func (j *Journal) Record(r RunResult) error {
+	if r.Err != nil || r.Table == nil {
+		return nil
+	}
+	line, err := json.Marshal(journalRecord{
+		ID:    r.Experiment.ID,
+		Name:  r.Experiment.Name,
+		Quick: j.quick,
+		Table: r.Table,
+	})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.done[r.Experiment.ID] = r.Table
+	return nil
+}
+
+// Close releases the journal file. Records already written remain valid.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// RunAllJournaled is RunAll with crash-safe resume: experiments already
+// completed in the journal are returned from it (marked Resumed) without
+// running, and every freshly successful result is journaled — fsynced
+// before the progress callback sees it — so the batch can be killed and
+// resumed at any point and still render byte-identical output. Journal
+// write errors surface on the matching RunResult.Err rather than silently
+// degrading to a non-resumable run.
+func RunAllJournaled(ctx context.Context, selected []Experiment, opts Options, parallelism int, j *Journal, progress func(RunResult)) []RunResult {
+	if j == nil {
+		return RunAll(ctx, selected, opts, parallelism, progress)
+	}
+	results := make([]RunResult, len(selected))
+	var pending []Experiment
+	pendingIdx := make([]int, 0, len(selected))
+	for i, e := range selected {
+		if tbl, ok := j.Done(e.ID); ok {
+			results[i] = RunResult{Experiment: e, Index: i, Table: tbl, Resumed: true}
+			continue
+		}
+		pending = append(pending, e)
+		pendingIdx = append(pendingIdx, i)
+	}
+	// Replay the skipped results through the progress callback first, so a
+	// caller streaming status sees every selected experiment exactly once.
+	if progress != nil {
+		for _, r := range results {
+			if r.Resumed {
+				progress(r)
+			}
+		}
+	}
+	ran := RunAll(ctx, pending, opts, parallelism, func(r RunResult) {
+		if err := j.Record(r); err != nil {
+			r.Err = err
+			r.Table = nil
+		}
+		if progress != nil {
+			progress(r)
+		}
+	})
+	for k, r := range ran {
+		// Journal errors reported through the callback must also land in the
+		// returned slice; re-check the journal's view of the record.
+		if r.Err == nil && r.Table != nil {
+			if _, ok := j.Done(r.Experiment.ID); !ok {
+				r.Err = fmt.Errorf("journal: result for %s was not recorded", r.Experiment.ID)
+				r.Table = nil
+			}
+		}
+		r.Index = pendingIdx[k]
+		results[pendingIdx[k]] = r
+	}
+	return results
+}

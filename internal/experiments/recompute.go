@@ -33,6 +33,7 @@ func runRecomputeVsDiscard(o Options) (*Table, error) {
 		batches = []int{48, 120}
 		p = workloads.Platform{GPU: gpudev.Generic(512 * units.MiB)}
 	}
+	p = o.arm(p)
 	t := &Table{
 		ID:    "X5",
 		Title: fmt.Sprintf("Extension (§8): recomputation vs discard, %s training", model.Name),

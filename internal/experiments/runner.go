@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"uvmdiscard/internal/runctl"
 )
 
 // RunResult is the outcome of one experiment executed by RunAll.
@@ -21,14 +25,34 @@ type RunResult struct {
 	// Err is the experiment's error, or a captured panic (with its stack).
 	// A failure never aborts the other experiments.
 	Err error
-	// Wall is how long the experiment took on its worker goroutine.
+	// Wall is how long the experiment took on its worker goroutine; zero
+	// for experiments the batch context canceled before they started.
 	Wall time.Duration
+	// Resumed marks a result served from a batch journal instead of being
+	// re-run (see RunAllJournaled).
+	Resumed bool
+}
+
+// Interrupted reports whether this result is a run the batch context or a
+// budget stopped (as opposed to an experiment that genuinely failed).
+func (r RunResult) Interrupted() bool {
+	return runctl.AsInterrupt(r.Err) != nil || errors.Is(r.Err, context.Canceled) ||
+		errors.Is(r.Err, context.DeadlineExceeded)
 }
 
 // RunAll executes the selected experiments across a pool of parallelism
 // worker goroutines (values < 1 mean runtime.GOMAXPROCS(0)) and returns one
 // RunResult per experiment, in selection order regardless of completion
 // order.
+//
+// Cancellation: when ctx is canceled, dispatch stops promptly — experiments
+// not yet handed to a worker are reported with a ctx-derived error and are
+// never started, and runs already in flight are interrupted at the next
+// driver checkpoint (opts.Ctx is filled in from ctx when nil, so the
+// cancellation reaches the simulation loop itself). RunAll returns within
+// roughly one in-flight driver operation of the cancel; every selected
+// experiment still gets a RunResult — canceled runs are reported, never
+// silently dropped. A nil ctx behaves like context.Background().
 //
 // Isolation rules (what makes this safe — and what any new experiment must
 // preserve):
@@ -48,7 +72,13 @@ type RunResult struct {
 // The optional progress callback is invoked once per experiment as it
 // finishes, in completion order (not selection order), serialized by an
 // internal mutex so callers may print from it without further locking.
-func RunAll(selected []Experiment, opts Options, parallelism int, progress func(RunResult)) []RunResult {
+func RunAll(ctx context.Context, selected []Experiment, opts Options, parallelism int, progress func(RunResult)) []RunResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -64,6 +94,14 @@ func RunAll(selected []Experiment, opts Options, parallelism int, progress func(
 		wg         sync.WaitGroup
 		progressMu sync.Mutex
 	)
+	emit := func(r RunResult) {
+		results[r.Index] = r
+		if progress != nil {
+			progressMu.Lock()
+			progress(r)
+			progressMu.Unlock()
+		}
+	}
 	jobs := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -72,17 +110,41 @@ func RunAll(selected []Experiment, opts Options, parallelism int, progress func(
 			for i := range jobs {
 				r := runOne(selected[i], opts)
 				r.Index = i
-				results[i] = r
-				if progress != nil {
-					progressMu.Lock()
-					progress(r)
-					progressMu.Unlock()
-				}
+				emit(r)
 			}
 		}()
 	}
+dispatch:
 	for i := range selected {
-		jobs <- i
+		// Checked before the select too: when the context is already dead,
+		// a free worker must not win the race and start another run.
+		if ctx.Err() != nil {
+			for j := i; j < len(selected); j++ {
+				emit(RunResult{
+					Experiment: selected[j],
+					Index:      j,
+					Err: fmt.Errorf("experiment %s (%s) not started: %w",
+						selected[j].ID, selected[j].Name, ctx.Err()),
+				})
+			}
+			break dispatch
+		}
+		select {
+		case <-ctx.Done():
+			// Shed everything not yet started. The in-flight runs notice
+			// the same cancellation through opts.Ctx and abort at their
+			// next driver checkpoint.
+			for j := i; j < len(selected); j++ {
+				emit(RunResult{
+					Experiment: selected[j],
+					Index:      j,
+					Err: fmt.Errorf("experiment %s (%s) not started: %w",
+						selected[j].ID, selected[j].Name, ctx.Err()),
+				})
+			}
+			break dispatch
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -30,8 +30,8 @@ func TestRunAllDeterministic(t *testing.T) {
 	}
 	opts := Options{Quick: true}
 	selected := All()
-	serial := renderAll(t, RunAll(selected, opts, 1, nil))
-	parallel := renderAll(t, RunAll(selected, opts, 8, nil))
+	serial := renderAll(t, RunAll(nil, selected, opts, 1, nil))
+	parallel := renderAll(t, RunAll(nil, selected, opts, 8, nil))
 	if serial != parallel {
 		t.Errorf("-j 8 output differs from -j 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
@@ -48,7 +48,7 @@ func TestRunAllOrderAndProgress(t *testing.T) {
 	}
 	selected := []Experiment{mk("S1"), mk("S2"), mk("S3"), mk("S4"), mk("S5")}
 	var progressed []string
-	results := RunAll(selected, Options{}, 4, func(r RunResult) {
+	results := RunAll(nil, selected, Options{}, 4, func(r RunResult) {
 		progressed = append(progressed, r.Experiment.ID)
 	})
 	if len(results) != len(selected) {
@@ -85,7 +85,7 @@ func TestRunAllCapturesPanicsAndErrors(t *testing.T) {
 			return &Table{ID: "OK2", Title: "fine", Header: []string{"a"}}, nil
 		}},
 	}
-	results := RunAll(selected, Options{}, 2, nil)
+	results := RunAll(nil, selected, Options{}, 2, nil)
 	if results[0].Err != nil || results[3].Err != nil {
 		t.Errorf("healthy experiments failed: %v / %v", results[0].Err, results[3].Err)
 	}
@@ -106,7 +106,7 @@ func TestRunAllCapturesPanicsAndErrors(t *testing.T) {
 
 // Degenerate inputs: empty selection and oversized parallelism.
 func TestRunAllEdgeCases(t *testing.T) {
-	if got := RunAll(nil, Options{}, 8, nil); len(got) != 0 {
+	if got := RunAll(nil, nil, Options{}, 8, nil); len(got) != 0 {
 		t.Errorf("empty selection produced %d results", len(got))
 	}
 	one := []Experiment{{ID: "X", Name: "x", Run: func(Options) (*Table, error) {
@@ -114,7 +114,7 @@ func TestRunAllEdgeCases(t *testing.T) {
 	}}}
 	// parallelism 0 and parallelism >> len(selected) both work.
 	for _, j := range []int{0, 64} {
-		results := RunAll(one, Options{}, j, nil)
+		results := RunAll(nil, one, Options{}, j, nil)
 		if len(results) != 1 || results[0].Err != nil {
 			t.Errorf("j=%d: %v", j, results)
 		}

@@ -50,7 +50,7 @@ func runInferenceAdvice(o Options) (*Table, error) {
 		{"+ both", true, true, 1},
 		{"2-GPU pipeline (no hints)", false, false, 2},
 	} {
-		p := workloads.Platform{GPU: gpu, Gen: pcie.Gen4}
+		p := o.arm(workloads.Platform{GPU: gpu, Gen: pcie.Gen4})
 		r, err := dnn.Infer(p, dnn.InferConfig{
 			Model: model, Batch: batch, Requests: 4,
 			Discard: spec.discard, AdviseWeights: spec.advise, GPUs: spec.gpus,

@@ -78,7 +78,7 @@ func firRunner(o Options) microRunner {
 	}
 	return func(p workloads.Platform, sys workloads.System) (workloads.Result, error) {
 		p.GPU = gpu
-		return fir.Run(p, sys, cfg)
+		return fir.Run(o.arm(p), sys, cfg)
 	}
 }
 
@@ -92,7 +92,7 @@ func radixRunner(o Options) microRunner {
 	}
 	return func(p workloads.Platform, sys workloads.System) (workloads.Result, error) {
 		p.GPU = gpu
-		return radixsort.Run(p, sys, cfg)
+		return radixsort.Run(o.arm(p), sys, cfg)
 	}
 }
 
@@ -108,7 +108,7 @@ func hashRunner(o Options) microRunner {
 	}
 	return func(p workloads.Platform, sys workloads.System) (workloads.Result, error) {
 		p.GPU = gpu
-		return hashjoin.Run(p, sys, cfg)
+		return hashjoin.Run(o.arm(p), sys, cfg)
 	}
 }
 

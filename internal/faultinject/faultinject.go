@@ -28,6 +28,7 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,6 +36,12 @@ import (
 
 	"uvmdiscard/internal/sim"
 )
+
+// maxSlowFactor bounds a degradation window's multiplier. Real
+// interconnect brownouts are single-digit factors; the cap exists so a
+// typo'd or fuzzed spec cannot scale a transfer past the int64 sim-time
+// range.
+const maxSlowFactor = 1000
 
 // LinkID names an interconnect for degradation windows.
 type LinkID int
@@ -111,7 +118,9 @@ func (c *Config) Validate() error {
 		{"dma", c.DMAFailProb}, {"peer", c.PeerFailProb},
 		{"unmap", c.UnmapFailProb}, {"poison", c.PoisonProb},
 	} {
-		if p.v < 0 || p.v > 1 {
+		// Written as a negated range so NaN (which fails every comparison)
+		// is rejected instead of slipping through a `< 0 || > 1` check.
+		if !(p.v >= 0 && p.v <= 1) {
 			return fmt.Errorf("faultinject: %s probability %v outside [0,1]", p.name, p.v)
 		}
 	}
@@ -125,8 +134,14 @@ func (c *Config) Validate() error {
 		if w.Start < 0 || w.Dur <= 0 {
 			return fmt.Errorf("faultinject: window %d has invalid span [%v,+%v)", i, w.Start, w.Dur)
 		}
-		if w.Factor < 1 {
-			return fmt.Errorf("faultinject: window %d factor %v < 1 (degradation only slows a link)", i, w.Factor)
+		if w.Start > math.MaxInt64-w.Dur {
+			return fmt.Errorf("faultinject: window %d span [%v,+%v) overflows sim time", i, w.Start, w.Dur)
+		}
+		// Negated range so NaN and +Inf factors are rejected; an unbounded
+		// factor would scale a transfer duration past the int64 sim-time
+		// range and crash the engine with a negative duration.
+		if !(w.Factor >= 1 && w.Factor <= maxSlowFactor) {
+			return fmt.Errorf("faultinject: window %d factor %v outside [1,%v] (degradation only slows a link)", i, w.Factor, float64(maxSlowFactor))
 		}
 	}
 	return nil

@@ -1,0 +1,81 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec drives the CLI spec grammar with adversarial input and
+// holds ParseSpec to its contract: it either returns a one-line error or a
+// schedule that (a) validates, (b) builds an injector, and (c) survives a
+// Spec() → ParseSpec round trip unchanged. Any spec that parses but later
+// crashes the engine (the NaN-probability / runaway-slow-factor class of
+// bug) fails here instead of as a panic deep inside a run.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7",
+		"seed=7,dma=0.05,unmap=0.01,fbcap=4",
+		"dma=0.02,peer=0.01,unmap=0.005,poison=0.001,fbcap=8",
+		"slow=pcie@1ms+5ms*3",
+		"slow=pcie@1ms+5ms*3,slow=peer@0s+2ms*1.5",
+		"dma=1,poison=0",
+		// The historical panic class: values ParseFloat accepts but no
+		// schedule may carry.
+		"dma=NaN",
+		"poison=+Inf",
+		"slow=pcie@0s+1ms*NaN",
+		"slow=pcie@0s+1ms*1e308",
+		"slow=pcie@2540400h+2540400h*2",
+		// Grammar edges.
+		"fbcap=-1",
+		"seed=notanumber",
+		"slow=pcie@1ms",
+		"slow=lan@1ms+1ms*2",
+		"bogus=1",
+		"=,=,=",
+		"dma=0.02,,unmap=0.005,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			return // rejected specs just need to not panic
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid schedule: %v", spec, verr)
+		}
+		if _, nerr := New(*cfg); nerr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a schedule New rejects: %v", spec, nerr)
+		}
+		rendered := cfg.Spec()
+		back, rerr := ParseSpec(rendered)
+		if rerr != nil {
+			t.Fatalf("Spec() output %q of %q does not re-parse: %v", rendered, spec, rerr)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Fatalf("round trip changed the schedule:\nspec %q\n got %+v\nback %+v (via %q)",
+				spec, cfg, back, rendered)
+		}
+	})
+}
+
+// TestValidateRejectsNonFinite pins the exact hole the fuzz corpus
+// documents: NaN slips through naive `< 0 || > 1` range checks, and a NaN
+// or huge slow factor turns into a negative sim duration that crashes the
+// engine mid-run. All must be rejected at spec time with an ordinary error.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, spec := range []string{
+		"dma=NaN", "peer=NaN", "unmap=NaN", "poison=NaN",
+		"dma=Inf", "poison=1.0000001",
+		"slow=pcie@0s+1ms*NaN",
+		"slow=pcie@0s+1ms*1e300",
+		"slow=pcie@0s+1ms*0.5",
+		"slow=pcie@2540400h+2540400h*2", // start+dur overflows int64 ns
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a schedule that must be rejected", spec)
+		}
+	}
+}

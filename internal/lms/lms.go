@@ -16,6 +16,7 @@ import (
 
 	"uvmdiscard/internal/cuda"
 	"uvmdiscard/internal/dnn"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -36,7 +37,8 @@ type Config struct {
 // updated weights out. The caching allocator keeps a working set of device
 // buffers so no allocation calls appear in the steady state; transfers are
 // synchronous with the compute stream, which is why LMS cannot hide them.
-func Train(p workloads.Platform, cfg Config) (dnn.TrainResult, error) {
+func Train(p workloads.Platform, cfg Config) (out dnn.TrainResult, err error) {
+	defer runctl.Recover(&err)
 	if cfg.Model == nil || cfg.Batch <= 0 {
 		return dnn.TrainResult{}, fmt.Errorf("lms: invalid config %+v", cfg)
 	}

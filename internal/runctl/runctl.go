@@ -1,0 +1,220 @@
+// Package runctl is the run-control (watchdog) layer for simulations that
+// must be cancellable and bounded: it carries a context.Context, an optional
+// wall-clock deadline, and an optional sim-time budget down into the driver
+// loop, which polls Check at its operation boundaries. A tripped control
+// aborts the run with a structured *Interrupt error — never an unrecovered
+// panic — at a point where the driver's invariants hold, so an aborted run
+// always passes the runtime sanitizer.
+//
+// This is deliberately the only simulation-adjacent package allowed to read
+// the wall clock (see the simdet analyzer's allowlist): virtual time stays a
+// pure function of the inputs, while the watchdog measures how long the
+// *host* has been grinding, which is exactly what a production service needs
+// to kill a runaway simulation. A Control never advances simulated time and
+// never perturbs metrics, so two runs of the same seeded workload — one with
+// a control that never trips, one without — produce byte-identical results.
+//
+// Ownership rules mirror sim.RNG and faultinject.Injector: a Control is
+// single-threaded per run, freshly constructed for every run, and never
+// shared between concurrently executing runs.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"uvmdiscard/internal/sim"
+)
+
+// Reason classifies why a run was interrupted.
+type Reason int
+
+const (
+	// Canceled means the run's context was canceled (client disconnect,
+	// batch cancellation, service shutdown).
+	Canceled Reason = iota
+	// WallDeadline means the run exceeded its host wall-clock budget — the
+	// watchdog verdict for a runaway simulation.
+	WallDeadline
+	// SimBudget means the simulated clock ran past the run's sim-time
+	// budget.
+	SimBudget
+)
+
+// String names the reason the way service metrics and logs report it.
+func (r Reason) String() string {
+	switch r {
+	case Canceled:
+		return "canceled"
+	case WallDeadline:
+		return "wall-deadline"
+	case SimBudget:
+		return "sim-budget"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Interrupt is the structured error a tripped control produces. It records
+// where the run was stopped (the driver operation and the simulated time),
+// so an aborted run is diagnosable and countable, never silently dropped.
+type Interrupt struct {
+	// Reason says which limit tripped.
+	Reason Reason
+	// Op is the driver operation at whose boundary the run stopped.
+	Op string
+	// SimTime is the simulated time at the stop point.
+	SimTime sim.Time
+	// Wall is how long the run had been executing on the host.
+	Wall time.Duration
+	// Cause is the underlying context error for Canceled interrupts.
+	Cause error
+}
+
+// Error implements error.
+func (i *Interrupt) Error() string {
+	return fmt.Sprintf("runctl: run interrupted (%s) at %s, sim time %v, wall %v",
+		i.Reason, i.Op, i.SimTime, i.Wall.Round(time.Microsecond))
+}
+
+// Unwrap maps the interrupt onto the standard context sentinels so callers
+// can errors.Is(err, context.Canceled / context.DeadlineExceeded).
+func (i *Interrupt) Unwrap() error {
+	switch i.Reason {
+	case Canceled:
+		if i.Cause != nil {
+			return i.Cause
+		}
+		return context.Canceled
+	default:
+		return context.DeadlineExceeded
+	}
+}
+
+// AsInterrupt extracts an *Interrupt from an error chain, or nil.
+func AsInterrupt(err error) *Interrupt {
+	var i *Interrupt
+	if errors.As(err, &i) {
+		return i
+	}
+	return nil
+}
+
+// wallCheckStride is how many Check calls elapse between wall-clock reads:
+// the context and sim-budget checks are branch-cheap and run every time,
+// while time.Now is only consulted every strideth call so the watchdog adds
+// no measurable overhead to the driver loop.
+const wallCheckStride = 32
+
+// Control carries one run's cancellation and budget state. The zero value
+// and the nil pointer are both inert (Check always passes), so fault-free
+// code paths pay a single nil comparison.
+type Control struct {
+	ctx          context.Context
+	wallDeadline time.Time
+	started      time.Time
+	simBudget    sim.Time
+	calls        uint64
+	tripped      *Interrupt
+}
+
+// New builds a control for one run. ctx may be nil (never canceled);
+// wallBudget and simBudget of zero mean unlimited. The wall-clock deadline
+// starts counting when New is called — construct the control at run start.
+func New(ctx context.Context, wallBudget time.Duration, simBudget sim.Time) *Control {
+	c := &Control{ctx: ctx, simBudget: simBudget}
+	if wallBudget > 0 || simBudget > 0 {
+		c.started = time.Now()
+	}
+	if wallBudget > 0 {
+		c.wallDeadline = c.started.Add(wallBudget)
+	}
+	return c
+}
+
+// Active reports whether the control can ever trip.
+func (c *Control) Active() bool {
+	return c != nil && (c.ctx != nil || !c.wallDeadline.IsZero() || c.simBudget > 0)
+}
+
+// Interrupted returns the interrupt that tripped this control, or nil.
+// Once tripped, a control stays tripped: every later Check returns the same
+// interrupt, so a run cannot accidentally resume past its own abort.
+func (c *Control) Interrupted() *Interrupt {
+	if c == nil {
+		return nil
+	}
+	return c.tripped
+}
+
+// Check polls the control at a driver operation boundary named op with the
+// simulated clock at now. It returns nil when the run may continue and a
+// sticky *Interrupt once any limit trips. Check never blocks and never
+// advances simulated time. Safe on a nil receiver.
+func (c *Control) Check(op string, now sim.Time) *Interrupt {
+	if c == nil {
+		return nil
+	}
+	if c.tripped != nil {
+		return c.tripped
+	}
+	c.calls++
+	if c.ctx != nil {
+		select {
+		case <-c.ctx.Done():
+			return c.trip(Canceled, op, now, c.ctx.Err())
+		default:
+		}
+	}
+	if c.simBudget > 0 && now > c.simBudget {
+		return c.trip(SimBudget, op, now, nil)
+	}
+	if !c.wallDeadline.IsZero() && c.calls%wallCheckStride == 0 {
+		if time.Now().After(c.wallDeadline) {
+			return c.trip(WallDeadline, op, now, nil)
+		}
+	}
+	return nil
+}
+
+func (c *Control) trip(r Reason, op string, now sim.Time, cause error) *Interrupt {
+	var wall time.Duration
+	if !c.started.IsZero() {
+		wall = time.Since(c.started)
+	}
+	c.tripped = &Interrupt{Reason: r, Op: op, SimTime: now, Wall: wall, Cause: cause}
+	return c.tripped
+}
+
+// Abort panics with the interrupt. The driver calls this when a Check
+// trips; the panic unwinds through the (side-effect-free at that point)
+// operation and is converted back into an ordinary error by Recover at the
+// workload boundary — callers of the workload drivers only ever see an
+// error, never a panic.
+func Abort(i *Interrupt) {
+	panic(i)
+}
+
+// Recover converts an in-flight Interrupt panic into *errp, preserving any
+// earlier error as the interrupt takes precedence only when *errp is nil.
+// Any other panic is re-raised untouched. Use it as the first deferred call
+// of a workload driver's Run:
+//
+//	func Run(...) (res workloads.Result, err error) {
+//		defer runctl.Recover(&err)
+//		...
+func Recover(errp *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	i, ok := p.(*Interrupt)
+	if !ok {
+		panic(p)
+	}
+	if *errp == nil {
+		*errp = i
+	}
+}

@@ -1,0 +1,136 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"uvmdiscard/internal/sim"
+)
+
+func TestNilAndInertControlsNeverTrip(t *testing.T) {
+	var c *Control
+	if got := c.Check("op", 0); got != nil {
+		t.Fatalf("nil control tripped: %v", got)
+	}
+	if c.Active() {
+		t.Fatal("nil control reports active")
+	}
+	inert := New(nil, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if got := inert.Check("op", sim.Time(i)*sim.Second); got != nil {
+			t.Fatalf("inert control tripped: %v", got)
+		}
+	}
+	if inert.Active() {
+		t.Fatal("inert control reports active")
+	}
+}
+
+func TestCancelTrips(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 0, 0)
+	if !c.Active() {
+		t.Fatal("control with ctx not active")
+	}
+	if got := c.Check("warm", sim.Millisecond); got != nil {
+		t.Fatalf("tripped before cancel: %v", got)
+	}
+	cancel()
+	i := c.Check("evict", 2*sim.Millisecond)
+	if i == nil {
+		t.Fatal("canceled control did not trip")
+	}
+	if i.Reason != Canceled || i.Op != "evict" || i.SimTime != 2*sim.Millisecond {
+		t.Fatalf("wrong interrupt: %+v", i)
+	}
+	if !errors.Is(i, context.Canceled) {
+		t.Fatalf("interrupt does not unwrap to context.Canceled: %v", i)
+	}
+}
+
+func TestSimBudgetTripsAndSticks(t *testing.T) {
+	c := New(nil, 0, sim.Millisecond)
+	if got := c.Check("a", sim.Millisecond); got != nil {
+		t.Fatalf("tripped at the budget boundary (budget is inclusive): %v", got)
+	}
+	first := c.Check("b", sim.Millisecond+1)
+	if first == nil || first.Reason != SimBudget {
+		t.Fatalf("sim budget did not trip: %+v", first)
+	}
+	if !errors.Is(first, context.DeadlineExceeded) {
+		t.Fatal("sim-budget interrupt should unwrap to DeadlineExceeded")
+	}
+	// Sticky: a later check at an innocent sim time still reports the trip.
+	again := c.Check("c", 0)
+	if again != first {
+		t.Fatalf("control un-tripped: %+v", again)
+	}
+	if c.Interrupted() != first {
+		t.Fatal("Interrupted() disagrees with Check")
+	}
+}
+
+func TestWallDeadlineTrips(t *testing.T) {
+	c := New(nil, time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	var i *Interrupt
+	// The wall clock is only consulted every wallCheckStride calls.
+	for n := 0; n <= wallCheckStride && i == nil; n++ {
+		i = c.Check("spin", 0)
+	}
+	if i == nil || i.Reason != WallDeadline {
+		t.Fatalf("wall deadline did not trip: %+v", i)
+	}
+	if i.Wall <= 0 {
+		t.Fatalf("interrupt did not record wall time: %+v", i)
+	}
+}
+
+func TestRecoverConvertsInterruptPanics(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		Abort(&Interrupt{Reason: SimBudget, Op: "kernel", SimTime: sim.Second})
+		return nil
+	}
+	err := run()
+	i := AsInterrupt(err)
+	if i == nil || i.Reason != SimBudget || i.Op != "kernel" {
+		t.Fatalf("Recover lost the interrupt: %v", err)
+	}
+
+	// Wrapped interrupts are still found.
+	if AsInterrupt(fmt.Errorf("outer: %w", err)) == nil {
+		t.Fatal("AsInterrupt missed a wrapped interrupt")
+	}
+	if AsInterrupt(errors.New("plain")) != nil {
+		t.Fatal("AsInterrupt invented an interrupt")
+	}
+
+	// Non-interrupt panics pass through untouched.
+	other := func() (err error) {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Fatal("Recover swallowed a foreign panic")
+			}
+		}()
+		defer Recover(&err)
+		panic("boom")
+	}
+	_ = other()
+}
+
+func TestRecoverKeepsEarlierError(t *testing.T) {
+	sentinel := errors.New("first failure")
+	run := func() (err error) {
+		defer Recover(&err)
+		err = sentinel
+		Abort(&Interrupt{Reason: Canceled, Op: "x"})
+		return err
+	}
+	if got := run(); got != sentinel {
+		t.Fatalf("Recover overwrote an earlier error: %v", got)
+	}
+}

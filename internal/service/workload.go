@@ -1,0 +1,222 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/experiments"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/runctl"
+	"uvmdiscard/internal/sim"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+	"uvmdiscard/internal/workloads/fir"
+	"uvmdiscard/internal/workloads/graph"
+	"uvmdiscard/internal/workloads/hashjoin"
+	"uvmdiscard/internal/workloads/radixsort"
+)
+
+func parseSystem(name string) (workloads.System, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "uvm-opt", "uvmopt":
+		return workloads.UVMOpt, nil
+	case "uvmdiscard", "discard":
+		return workloads.UvmDiscard, nil
+	case "uvmdiscardlazy", "lazy":
+		return workloads.UvmDiscardLazy, nil
+	case "no-uvm", "nouvm":
+		return workloads.NoUVM, nil
+	case "pytorch-lms", "lms":
+		return workloads.PyTorchLMS, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q", name)
+	}
+}
+
+// platformFor builds the one-run platform: fresh control (the job's ctx +
+// budgets), fresh fault schedule reference, PCIe-4.
+func platformFor(req RunRequest, gpu gpudev.Profile, j *job) workloads.Platform {
+	return workloads.Platform{
+		GPU:            gpu,
+		Gen:            pcie.Gen4,
+		OversubPercent: req.Ovsp,
+		Faults:         req.faults,
+		Control:        j.control(),
+	}
+}
+
+// runSummary is the JSON a finished single run reports.
+type runSummary struct {
+	Workload  string  `json:"workload"`
+	System    string  `json:"system"`
+	Ovsp      int     `json:"ovsp"`
+	Runtime   string  `json:"runtime"`
+	TrafficGB float64 `json:"traffic_gb"`
+	H2DGB     float64 `json:"h2d_gb"`
+	D2HGB     float64 `json:"d2h_gb"`
+	SavedGB   float64 `json:"saved_gb"`
+}
+
+func (s *Server) runWorkloadJob(j *job) (string, error) {
+	req := j.run
+	sys, err := parseSystem(req.System)
+	if err != nil {
+		return "", err
+	}
+	var res workloads.Result
+	switch req.Workload {
+	case "spin":
+		// Spin never completes on its own; its only exits are the
+		// structured ones (cancel, wall deadline, sim budget).
+		return "", runSpin(j.control())
+	case "fir":
+		cfg := fir.DefaultConfig()
+		gpu := gpudev.RTX3080Ti()
+		if req.Quick {
+			cfg.InputBytes = 512 * units.MiB
+			cfg.WindowBytes = 64 * units.MiB
+			gpu = gpudev.Generic(1536 * units.MiB)
+		}
+		res, err = fir.Run(platformFor(req, gpu, j), sys, cfg)
+	case "radixsort":
+		cfg := radixsort.DefaultConfig()
+		gpu := gpudev.RTX3080Ti()
+		if req.Quick {
+			cfg.DataBytes = 256 * units.MiB
+			cfg.StripBytes = 32 * units.MiB
+			gpu = gpudev.Generic(768 * units.MiB)
+		}
+		res, err = radixsort.Run(platformFor(req, gpu, j), sys, cfg)
+	case "hashjoin":
+		cfg := hashjoin.DefaultConfig()
+		gpu := gpudev.RTX3080Ti()
+		if req.Quick {
+			cfg.TableBytes = 24 * units.MiB
+			cfg.IntermediateBytes = 80 * units.MiB
+			cfg.WorkspaceBytes = 110 * units.MiB
+			cfg.ResultBytes = 104 * units.MiB
+			gpu = gpudev.Generic(600 * units.MiB)
+		}
+		res, err = hashjoin.Run(platformFor(req, gpu, j), sys, cfg)
+	case "graph":
+		cfg := graph.DefaultConfig()
+		gpu := gpudev.RTX3080Ti()
+		if req.Quick {
+			cfg.EdgeBytes = 512 * units.MiB
+			cfg.VertexBytes = 16 * units.MiB
+			gpu = gpudev.Generic(384 * units.MiB)
+		}
+		res, err = graph.Run(platformFor(req, gpu, j), sys, cfg)
+	default:
+		return "", fmt.Errorf("unknown workload %q", req.Workload)
+	}
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(runSummary{
+		Workload:  req.Workload,
+		System:    res.System.String(),
+		Ovsp:      req.Ovsp,
+		Runtime:   res.Runtime.String(),
+		TrafficGB: res.TrafficGB(),
+		H2DGB:     float64(res.H2DBytes) / 1e9,
+		D2HGB:     float64(res.D2HBytes) / 1e9,
+		SavedGB:   float64(res.SavedH2D+res.SavedD2H) / 1e9,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// runSpin is the runaway simulation: an endless kernel loop over a small
+// resident buffer. It exists so the watchdog path is testable end to end —
+// a correct service kills it at its deadline and the driver state it leaves
+// behind passes the sanitizer.
+func runSpin(ctl *runctl.Control) (err error) {
+	defer runctl.Recover(&err)
+	p := workloads.Platform{GPU: gpudev.Generic(64 * units.MiB), Gen: pcie.Gen4, Control: ctl}
+	ctx, err := p.NewContext(32 * units.MiB)
+	if err != nil {
+		return err
+	}
+	buf, err := ctx.MallocManaged("spin", 16*units.MiB)
+	if err != nil {
+		return err
+	}
+	st := ctx.Stream("spin")
+	for i := 0; ; i++ {
+		if err := st.Launch(cuda.Kernel{
+			Name:    "spin",
+			Compute: 10 * sim.Microsecond,
+			Accesses: []cuda.Access{
+				{Buf: buf, Offset: 0, Length: buf.Size(), Mode: core.Read},
+			},
+		}); err != nil {
+			return err
+		}
+		if i%1024 == 1023 {
+			ctx.DeviceSynchronize()
+		}
+	}
+}
+
+func (s *Server) runBatchJob(j *job) (string, error) {
+	b := j.batch
+	opts := experiments.Options{
+		Quick:      b.Quick,
+		Ctx:        j.ctx,
+		WallBudget: j.wall,
+		SimBudget:  j.simB,
+	}
+	par := b.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	var jnl *experiments.Journal
+	if b.Journal != "" {
+		var err error
+		jnl, err = experiments.OpenJournal(s.journalPath(b.Journal), b.Quick)
+		if err != nil {
+			return "", err
+		}
+		defer jnl.Close()
+	}
+	results := experiments.RunAllJournaled(j.ctx, b.selected, opts, par, jnl, func(r experiments.RunResult) {
+		if r.Resumed {
+			j.addResumed(1)
+			s.sc.Resumed.Add(1)
+		}
+	})
+	// Render completed tables in selection order — the same bytes
+	// cmd/paperbench emits for the same selection, which is what the
+	// kill/resume smoke test compares against an uninterrupted run.
+	var out strings.Builder
+	var firstFail, firstInterrupt error
+	for _, r := range results {
+		if r.Err != nil {
+			wrapped := fmt.Errorf("experiment %s: %w", r.Experiment.ID, r.Err)
+			if r.Interrupted() {
+				if firstInterrupt == nil {
+					firstInterrupt = wrapped
+				}
+			} else if firstFail == nil {
+				firstFail = wrapped
+			}
+			continue
+		}
+		out.WriteString(r.Table.String())
+		out.WriteByte('\n')
+	}
+	// A genuine failure outranks an interruption for the job's terminal
+	// state; partial output is returned either way — finished tables are
+	// real results (and journaled), not collateral of the failure.
+	if firstFail != nil {
+		return out.String(), firstFail
+	}
+	return out.String(), firstInterrupt
+}

@@ -17,6 +17,7 @@ import (
 
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -50,8 +51,10 @@ func (c Config) Footprint() units.Size {
 }
 
 // Run executes FIR under the given system and platform and reports runtime
-// and traffic.
-func Run(p workloads.Platform, sys workloads.System, cfg Config) (workloads.Result, error) {
+// and traffic. A run interrupted by the platform's run control (cancel,
+// wall deadline, sim budget) returns a *runctl.Interrupt error.
+func Run(p workloads.Platform, sys workloads.System, cfg Config) (res workloads.Result, err error) {
+	defer runctl.Recover(&err)
 	if sys == workloads.NoUVM || sys == workloads.PyTorchLMS {
 		return workloads.Result{}, fmt.Errorf("fir: system %v not part of the paper's FIR evaluation", sys)
 	}

@@ -23,6 +23,7 @@ import (
 
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -78,7 +79,8 @@ func (c Config) validate() error {
 }
 
 // Run executes the traversal under the given system.
-func Run(p workloads.Platform, sys workloads.System, cfg Config) (workloads.Result, error) {
+func Run(p workloads.Platform, sys workloads.System, cfg Config) (res workloads.Result, err error) {
+	defer runctl.Recover(&err)
 	if sys == workloads.NoUVM || sys == workloads.PyTorchLMS {
 		return workloads.Result{}, fmt.Errorf("graph: system %v not supported", sys)
 	}

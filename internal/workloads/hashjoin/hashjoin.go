@@ -31,6 +31,7 @@ import (
 
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -86,7 +87,8 @@ func (c Config) validate() error {
 }
 
 // Run executes the hash joins under the given system and platform.
-func Run(p workloads.Platform, sys workloads.System, cfg Config) (workloads.Result, error) {
+func Run(p workloads.Platform, sys workloads.System, cfg Config) (res workloads.Result, err error) {
+	defer runctl.Recover(&err)
 	if sys == workloads.NoUVM || sys == workloads.PyTorchLMS {
 		return workloads.Result{}, fmt.Errorf("hashjoin: system %v not part of the paper's evaluation", sys)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
 	"uvmdiscard/internal/workloads"
@@ -73,7 +74,8 @@ func (c Config) validate() error {
 }
 
 // Run executes the radix sort under the given system and platform.
-func Run(p workloads.Platform, sys workloads.System, cfg Config) (workloads.Result, error) {
+func Run(p workloads.Platform, sys workloads.System, cfg Config) (res workloads.Result, err error) {
+	defer runctl.Recover(&err)
 	if sys == workloads.NoUVM || sys == workloads.PyTorchLMS {
 		return workloads.Result{}, fmt.Errorf("radixsort: system %v not part of the paper's evaluation", sys)
 	}

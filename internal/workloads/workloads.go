@@ -15,6 +15,7 @@ import (
 	"uvmdiscard/internal/gpudev"
 	"uvmdiscard/internal/metrics"
 	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/trace"
 	"uvmdiscard/internal/units"
@@ -107,6 +108,14 @@ type Platform struct {
 	// every context built from the platform gets its own fresh Injector
 	// from this shared schedule, preserving run isolation.
 	Faults *faultinject.Config
+	// Control attaches a run control (internal/runctl): the driver loop
+	// polls it and aborts the run with a structured *runctl.Interrupt on
+	// cancellation or budget exhaustion; the workload drivers convert the
+	// abort back into an ordinary error with runctl.Recover. Unlike
+	// Faults, a Control is per-run mutable state: build a fresh one for
+	// every run (a Platform carrying a Control must not be reused across
+	// concurrent runs).
+	Control *runctl.Control
 }
 
 // DefaultPlatform is the paper's primary evaluation machine: 3080 Ti on
@@ -154,6 +163,7 @@ func (p Platform) NewContext(appBytes units.Size) (*cuda.Context, error) {
 		Link:          pcie.Preset(gen),
 		Params:        p.Params,
 		Faults:        p.Faults,
+		Control:       p.Control,
 	}
 	if p.TraceRMT {
 		cfg.Trace = trace.NewRecorder()
