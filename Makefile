@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench examples repro csv ci lint chaos smoke-service clean
+.PHONY: all build test test-short test-race bench bench-json examples repro csv ci lint chaos smoke-service clean
 
 all: build test
 
@@ -47,16 +47,23 @@ else
 	$(GO) test -race -count=1 -run TestChaosRandomFaults ./internal/core/ -v
 endif
 
-# End-to-end crash-safety smoke for the uvmsimd service: build the daemon,
-# submit a journaled batch, SIGKILL it mid-batch, restart, resubmit, and
-# assert the resumed output is byte-identical to an uninterrupted
-# sequential run (cmd/uvmsimd/smoke_test.go).
+# End-to-end smokes for the uvmsimd service: the kill/resume crash-safety
+# test (smoke_test.go) and the /metrics + SSE-progress observability test
+# (metrics_smoke_test.go), both against the real daemon binary.
 smoke-service:
-	$(GO) test -count=1 -run TestSmokeKillResume ./cmd/uvmsimd -v
+	$(GO) test -count=1 -run 'TestSmoke' ./cmd/uvmsimd -v
 
 # One testing.B benchmark per paper table/figure + ablations + extensions.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the committed performance baseline: run the quick-mode paper
+# benchmarks once each and convert the output to JSON (cmd/benchjson).
+# Compare against a branch with:
+#   jq -r '.benchmarks[].raw' BENCH_PR6.json > old.txt && benchstat old.txt new.txt
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=1 . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR6.json
 
 # Run every example end to end.
 examples:

@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON baseline. `make bench-json` pipes the quick-mode paper benchmarks
+// through it to produce BENCH_PR6.json, the committed performance baseline
+// future PRs diff against.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x . | benchjson -out BENCH_PR6.json
+//
+// Every benchmark result line is parsed into {name, procs, iterations,
+// metrics} with all value/unit pairs preserved (ns/op, B/op, allocs/op, and
+// the custom paper metrics like traffic-gb). The verbatim line is kept in
+// "raw", so a benchstat-ready file is one jq away:
+//
+//	jq -r '.benchmarks[].raw' BENCH_PR6.json | benchstat old.txt -
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark function name without the -procs suffix.
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS at run time (the -N name suffix).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported pair (ns/op, B/op,
+	// allocs/op, custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+	// Raw is the verbatim output line, for benchstat reconstruction.
+	Raw string `json:"raw"`
+}
+
+// Baseline is the emitted document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkX-8 N value unit ..." line; ok is false
+// for non-benchmark lines.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Procs: 1, Metrics: map[string]float64{}, Raw: line}
+	if i := strings.LastIndexByte(f[0], '-'); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			b.Name, b.Procs = f[0][:i], p
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = n
+	// The rest are value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// Parse reads `go test -bench` output and assembles the baseline.
+func Parse(r io.Reader) (Baseline, error) {
+	var out Baseline
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if b, ok := parseLine(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	base, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(base.Benchmarks), *outPath)
+}

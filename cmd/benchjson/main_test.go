@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: uvmdiscard
+cpu: Some CPU @ 2.80GHz
+BenchmarkTable3_FIRRuntime-8   	       1	 234150010 ns/op	        0.52 paper-x	    1234 B/op	      56 allocs/op
+BenchmarkTable4_FIRTraffic     	       2	  11000000 ns/op
+PASS
+ok  	uvmdiscard	1.234s
+`
+	base, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" || base.Pkg != "uvmdiscard" {
+		t.Errorf("header not captured: %+v", base)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(base.Benchmarks))
+	}
+	b := base.Benchmarks[0]
+	if b.Name != "BenchmarkTable3_FIRRuntime" || b.Procs != 8 || b.Iterations != 1 {
+		t.Errorf("first benchmark: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 234150010, "paper-x": 0.52, "B/op": 1234, "allocs/op": 56,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if !strings.Contains(b.Raw, "BenchmarkTable3_FIRRuntime-8") {
+		t.Errorf("raw line not preserved: %q", b.Raw)
+	}
+	// No -procs suffix parses with Procs 1.
+	if b2 := base.Benchmarks[1]; b2.Procs != 1 || b2.Iterations != 2 {
+		t.Errorf("second benchmark: %+v", b2)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnly",
+		"BenchmarkX notanumber",
+		"BenchmarkX 3 zap ns/op",
+		"FAIL	uvmdiscard	0.1s",
+	} {
+		if b, ok := parseLine(line); ok {
+			t.Errorf("%q parsed as %+v", line, b)
+		}
+	}
+}

@@ -6,23 +6,31 @@
 // Usage:
 //
 //	uvmlint [-list] [dir]
+//	uvmlint -expfmt [file]
 //
 // dir defaults to the current directory; the module root is located by
 // walking up to go.mod, and the whole module is linted regardless of which
 // subdirectory uvmlint starts from (so `go run ./cmd/uvmlint` in the repo
 // root and a `make lint` from anywhere agree). Suppress a finding with
 // `//uvmlint:ignore <analyzer> <reason>` on or directly above the line.
+//
+// -expfmt switches uvmlint into Prometheus exposition-format checking
+// (internal/promexp.Check): it validates a scrape read from the named file
+// (or stdin when omitted or "-") and exits non-zero on any violation. CI
+// uses it to prove uvmsimd's GET /metrics output parses.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"uvmdiscard/internal/analysis"
 	"uvmdiscard/internal/analysis/locksafe"
 	"uvmdiscard/internal/analysis/queuestate"
 	"uvmdiscard/internal/analysis/simdet"
+	"uvmdiscard/internal/promexp"
 )
 
 // analyzers is the multichecker's pass list.
@@ -34,8 +42,9 @@ var analyzers = []*analysis.Analyzer{
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	expfmt := flag.Bool("expfmt", false, "validate a Prometheus text exposition (file arg or stdin) instead of linting Go code")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: uvmlint [-list] [dir]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: uvmlint [-list] [dir]\n       uvmlint -expfmt [file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,6 +53,9 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *expfmt {
+		os.Exit(checkExposition(flag.Args()))
 	}
 	start := "."
 	if flag.NArg() > 0 {
@@ -61,4 +73,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "uvmlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// checkExposition runs the promexp validator over a scrape and returns the
+// process exit code: 0 clean, 1 violations, 2 I/O error.
+func checkExposition(args []string) int {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(args) > 0 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uvmlint:", err)
+			return 2
+		}
+		defer f.Close()
+		r, name = f, args[0]
+	}
+	problems := promexp.Check(r)
+	for _, p := range problems {
+		fmt.Printf("%s: %s\n", name, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "uvmlint: %d exposition violation(s)\n", len(problems))
+		return 1
+	}
+	return 0
 }

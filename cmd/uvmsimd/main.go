@@ -9,14 +9,16 @@
 //
 // Endpoints:
 //
-//	POST   /v1/runs         {"workload":"fir","system":"UvmDiscard","ovsp":200,"quick":true}
-//	POST   /v1/batches      {"experiments":["T3","T4"],"quick":true,"journal":"nightly"}
-//	GET    /v1/jobs         list jobs
-//	GET    /v1/jobs/{id}    job status, output when finished
-//	DELETE /v1/jobs/{id}    cancel a queued or running job
-//	GET    /v1/experiments  available experiment IDs
-//	GET    /v1/metrics      admission/outcome counters
-//	GET    /healthz         ok | draining
+//	POST   /v1/runs                  {"workload":"fir","system":"UvmDiscard","ovsp":200,"quick":true}
+//	POST   /v1/batches               {"experiments":["T3","T4"],"quick":true,"journal":"nightly"}
+//	GET    /v1/jobs                  list jobs (bounded: see -retain)
+//	GET    /v1/jobs/{id}             job status, output when finished
+//	GET    /v1/jobs/{id}/progress    live progress stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}             cancel a queued or running job
+//	GET    /v1/experiments           available experiment IDs
+//	GET    /v1/metrics               admission/outcome counters (JSON)
+//	GET    /metrics                  Prometheus text exposition (DESIGN.md §12)
+//	GET    /healthz                  ok | draining
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 		wallBudget = flag.Duration("wall-budget", 2*time.Minute, "default per-job wall-clock deadline")
 		simBudget  = flag.Duration("sim-budget", 0, "default per-run simulated-time budget (0 = unlimited)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
+		retain     = flag.Int("retain", 256, "finished jobs kept for GET /v1/jobs; oldest terminal jobs are evicted beyond this")
 	)
 	flag.Parse()
 
@@ -59,6 +62,7 @@ func main() {
 		JournalDir:        *journalDir,
 		DefaultWallBudget: *wallBudget,
 		DefaultSimBudget:  sim.Time(*simBudget),
+		RetainJobs:        *retain,
 		Log:               logger,
 	})
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"uvmdiscard/internal/promexp"
+)
+
+// TestSmokeMetricsScrape is the observability acceptance test run against
+// the real daemon binary: submit a run over HTTP, follow its SSE progress
+// stream, and scrape GET /metrics — the exposition must pass the promexp
+// validator (the same checker `uvmlint -expfmt` applies in CI) and carry
+// all three metric layers.
+func TestSmokeMetricsScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildUvmsimd(t)
+	d := startDaemon(t, bin, t.TempDir())
+
+	// Submit a quick discard-system run and watch its progress stream to
+	// completion: the stream must end with a "done" event.
+	body, _ := json.Marshal(map[string]any{
+		"workload": "fir", "quick": true, "system": "discard",
+	})
+	resp, err := http.Post(d.base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js smokeJob
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(d.base + "/v1/jobs/" + js.ID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("progress content type %q", ct)
+	}
+	events, done := 0, false
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events++
+			if line == "event: done" {
+				done = true
+				break
+			}
+		}
+	}
+	if !done || events < 2 {
+		t.Fatalf("progress stream: %d events, done=%v", events, done)
+	}
+	d.waitDone(t, js.ID, time.Minute)
+
+	// Scrape and validate.
+	mresp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", mresp.StatusCode)
+	}
+	scrapeBody, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := promexp.CheckText(scrapeBody); len(problems) != 0 {
+		t.Fatalf("exposition invalid:\n%s", strings.Join(problems, "\n"))
+	}
+	text := string(scrapeBody)
+	for _, want := range []string{
+		"uvmsimd_jobs_admitted_total 1",
+		`uvmsimd_jobs_finished_total{outcome="done"} 1`,
+		"uvmsimd_job_duration_seconds_bucket",
+		"uvmsim_transfer_bytes_total{",
+		"uvmsim_discard_calls_total",
+		`device="gpu0"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}

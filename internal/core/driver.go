@@ -92,6 +92,9 @@ type Driver struct {
 	// sampling stride (sanitizer.go). A Driver is single-threaded per
 	// run (see internal/experiments isolation rules), so no lock.
 	opCount uint64
+	// pubTick counts checkpoints for the residency-gauge publishing stride
+	// (see checkpoint / PublishResidency). Same single-threaded rule.
+	pubTick uint64
 }
 
 var (
@@ -235,6 +238,40 @@ func (d *Driver) checkpoint(op string, now sim.Time) {
 	}
 	if i := d.ctl.Check(op, now); i != nil {
 		runctl.Abort(i)
+	}
+	// Controlled runs are service runs: republish the residency gauges on a
+	// stride so a /metrics scrape of a live run sees fresh per-device
+	// occupancy without a collector-mutex acquisition per driver operation.
+	d.pubTick++
+	if d.pubTick&(residencyPublishStride-1) == 0 {
+		d.PublishResidency()
+	}
+}
+
+// residencyPublishStride is how many checkpoints elapse between residency
+// gauge refreshes; a power of two so the stride test is a mask.
+const residencyPublishStride = 64
+
+// PublishResidency pushes every device's current queue occupancy into the
+// metrics collector as per-device gauges (metrics.DeviceResidency).
+// Chunks are uniform (units.BlockSize), so occupancy is queue length times
+// chunk size. The driver calls this on a stride from checkpoint during
+// controlled (service) runs, and workloads.Collect calls it once at the end
+// of every run so finished results always carry final residency. It reads
+// only queue lengths and never mutates driver state, so publishing has no
+// effect on simulated time or determinism.
+func (d *Driver) PublishResidency() {
+	for i, dev := range d.devs {
+		bs := uint64(units.BlockSize)
+		d.m.SetDeviceResidency(i, metrics.DeviceResidency{
+			CapacityBytes:  bs * uint64(dev.TotalChunks()),
+			FreeBytes:      bs * uint64(dev.QueueLen(gpudev.QueueFree)),
+			UnusedBytes:    bs * uint64(dev.QueueLen(gpudev.QueueUnused)),
+			UsedBytes:      bs * uint64(dev.QueueLen(gpudev.QueueUsed)),
+			DiscardedBytes: bs * uint64(dev.QueueLen(gpudev.QueueDiscarded)),
+			ReservedBytes:  bs * uint64(dev.QueueLen(gpudev.QueueReserved)),
+			PoisonedBytes:  bs * uint64(dev.QueueLen(gpudev.QueuePoisoned)),
+		})
 	}
 }
 

@@ -37,6 +37,14 @@ type Options struct {
 	WallBudget time.Duration
 	// SimBudget caps each run's simulated time; zero means no budget.
 	SimBudget sim.Time
+	// OnControl, when non-nil, observes every run control armed from these
+	// options immediately after construction. The uvmsimd service uses it
+	// to track a batch job's currently active control for the progress
+	// stream. arm is called from whichever worker goroutine builds the
+	// platform, so the hook must be safe for concurrent use; it must not
+	// call into the control beyond the documented cross-goroutine surface
+	// (Progress).
+	OnControl func(*runctl.Control)
 }
 
 // arm attaches a fresh run control to a platform when the options carry a
@@ -50,6 +58,9 @@ func (o Options) arm(p workloads.Platform) workloads.Platform {
 		return p
 	}
 	p.Control = runctl.New(o.Ctx, o.WallBudget, o.SimBudget)
+	if o.OnControl != nil {
+		o.OnControl(p.Control)
+	}
 	return p
 }
 

@@ -148,7 +148,28 @@ type Collector struct {
 	poisonLost     uint64 // poisoned bytes with no valid host copy (data lost)
 	poisonSaved    uint64 // poisoned bytes recovered from a valid host copy
 
+	// devRes holds per-device residency gauges, indexed by GPU. Unlike the
+	// counters above these are point-in-time values: the driver republishes
+	// them at checkpoints (core.Driver.PublishResidency) and the service's
+	// /metrics exporter renders them with device="gpuN" labels.
+	devRes []DeviceResidency
+
 	apiTime map[string]sim.Time
+}
+
+// DeviceResidency is a point-in-time view of one simulated GPU's physical
+// chunk pool, in bytes, split by the driver's page queues (§5.5). Used is
+// live resident data; Unused and Discarded hold dead data reclaimable
+// without a transfer; Reserved models the oversubscription knob's idle
+// co-resident program; Poisoned is ECC-quarantined capacity.
+type DeviceResidency struct {
+	CapacityBytes  uint64
+	FreeBytes      uint64
+	UnusedBytes    uint64
+	UsedBytes      uint64
+	DiscardedBytes uint64
+	ReservedBytes  uint64
+	PoisonedBytes  uint64
 }
 
 // New returns an empty collector.
@@ -329,6 +350,77 @@ func (c *Collector) Poisoned() (chunks int64, recovered, lost uint64) {
 	return c.poisonedChunks, c.poisonSaved, c.poisonLost
 }
 
+// SetDeviceResidency records a point-in-time residency view for GPU gpu,
+// growing the per-device table as needed.
+func (c *Collector) SetDeviceResidency(gpu int, r DeviceResidency) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.devRes) <= gpu {
+		c.devRes = append(c.devRes, DeviceResidency{})
+	}
+	c.devRes[gpu] = r
+}
+
+// DeviceResidency returns a copy of the per-device residency gauges, one
+// entry per GPU that has published (empty until the driver's first
+// PublishResidency).
+func (c *Collector) DeviceResidency() []DeviceResidency {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]DeviceResidency(nil), c.devRes...)
+}
+
+// Merge adds src's counters into c. The service's /metrics exporter uses it
+// to maintain one cumulative simulation collector across finished runs, so
+// the exported counters stay monotonic while each run keeps its own
+// isolated collector. Residency gauges are not counters: src's gauges
+// overwrite c's when src has published any (last run wins). src is
+// snapshotted first, so merging a live collector is safe.
+func (c *Collector) Merge(src *Collector) {
+	s := src.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for dir := Direction(0); dir < numDirections; dir++ {
+		for cause := Cause(0); cause < numCauses; cause++ {
+			c.bytes[dir][cause] += s.bytes[dir][cause]
+			c.ops[dir][cause] += s.ops[dir][cause]
+		}
+	}
+	for es := EvictSource(0); es < numEvictSources; es++ {
+		c.evicts[es] += s.evicts[es]
+	}
+	c.savedH2D += s.savedH2D
+	c.savedD2H += s.savedD2H
+	c.peerBytes += s.peerBytes
+	c.peerOps += s.peerOps
+	c.peerSaved += s.peerSaved
+	c.faultBatches += s.faultBatches
+	c.faultedBlocks += s.faultedBlocks
+	c.zeroBlocks += s.zeroBlocks
+	c.zeroPages += s.zeroPages
+	c.unmapBlocks += s.unmapBlocks
+	c.mapBlocks += s.mapBlocks
+	c.discardCalls += s.discardCalls
+	c.discardBlocks += s.discardBlocks
+	c.migrateRetries += s.migrateRetries
+	c.unmapRetries += s.unmapRetries
+	c.faultReplays += s.faultReplays
+	c.degradedBlocks += s.degradedBlocks
+	c.degradedBytes += s.degradedBytes
+	c.poisonedChunks += s.poisonedChunks
+	c.poisonLost += s.poisonLost
+	c.poisonSaved += s.poisonSaved
+	if len(s.devRes) > 0 {
+		c.devRes = append(c.devRes[:0], s.devRes...)
+	}
+	if c.apiTime == nil {
+		c.apiTime = make(map[string]sim.Time, len(s.apiTime))
+	}
+	for k, v := range s.apiTime {
+		c.apiTime[k] += v
+	}
+}
+
 // AddAPITime attributes host-side time to a named API.
 func (c *Collector) AddAPITime(api string, t sim.Time) {
 	c.mu.Lock()
@@ -448,6 +540,7 @@ func (c *Collector) Reset() {
 	c.migrateRetries, c.unmapRetries, c.faultReplays = 0, 0, 0
 	c.degradedBlocks, c.degradedBytes = 0, 0
 	c.poisonedChunks, c.poisonLost, c.poisonSaved = 0, 0, 0
+	c.devRes = nil
 	c.apiTime = make(map[string]sim.Time)
 }
 
@@ -484,6 +577,8 @@ func (c *Collector) Snapshot() *Collector {
 		poisonedChunks: c.poisonedChunks,
 		poisonLost:     c.poisonLost,
 		poisonSaved:    c.poisonSaved,
+
+		devRes: append([]DeviceResidency(nil), c.devRes...),
 
 		apiTime: make(map[string]sim.Time, len(c.apiTime)),
 	}

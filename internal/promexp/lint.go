@@ -1,0 +1,369 @@
+package promexp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Check validates a Prometheus text exposition read from r and returns one
+// problem string per violation (empty means the exposition is well formed).
+// It is the gate CI closes over the live /metrics endpoint: cmd/uvmlint
+// -expfmt feeds a scrape through it, and the exporter's own tests feed it
+// every rendering.
+//
+// Checked, per the text-format spec:
+//
+//   - line syntax: HELP/TYPE comments, samples as name[{labels}] value
+//     [timestamp], blank lines and free comments allowed;
+//   - metric and label names match the grammar; label values use only the
+//     \\, \", and \n escapes; no duplicate label names in one sample;
+//   - TYPE is a known kind, appears at most once per family, and precedes
+//     that family's samples; a family's samples are contiguous;
+//   - values parse as Go floats or the +Inf/-Inf/NaN specials;
+//   - no two samples share a name and label set;
+//   - histogram families have le-sorted, monotonically non-decreasing
+//     cumulative buckets per label set, ending in an le="+Inf" bucket that
+//     equals the family's _count.
+func Check(r io.Reader) []string {
+	c := &checker{
+		types:    map[string]string{},
+		helps:    map[string]bool{},
+		seen:     map[string]int{},
+		seenLine: map[string]int{},
+		closed:   map[string]bool{},
+		hists:    map[string]*histCheck{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		c.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		c.addf(line, "read error: %v", err)
+	}
+	c.finish()
+	return c.problems
+}
+
+// CheckText is Check over an in-memory exposition.
+func CheckText(b []byte) []string { return Check(strings.NewReader(string(b))) }
+
+type histCheck struct {
+	// buckets maps a label fingerprint (le excluded) to its le->count
+	// pairs, in order of appearance.
+	buckets map[string][]bucket
+	counts  map[string]float64 // _count per label fingerprint
+	order   []string           // fingerprints in first-seen order
+}
+
+type bucket struct {
+	le    float64
+	count float64
+	line  int
+}
+
+type checker struct {
+	problems []string
+	types    map[string]string // family -> declared TYPE
+	helps    map[string]bool
+	seen     map[string]int  // family -> sample count
+	seenLine map[string]int  // series fingerprint -> first line
+	closed   map[string]bool // family had samples and a different family followed
+	hists    map[string]*histCheck
+	current  string // family of the most recent sample
+}
+
+func (c *checker) addf(line int, format string, args ...any) {
+	c.problems = append(c.problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		c.comment(n, s)
+		return
+	}
+	c.sample(n, s)
+}
+
+func (c *checker) comment(n int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameOK(fields[2]) {
+			c.addf(n, "malformed HELP line %q", s)
+			return
+		}
+		if c.helps[fields[2]] {
+			c.addf(n, "duplicate HELP for %s", fields[2])
+		}
+		c.helps[fields[2]] = true
+	case "TYPE":
+		if len(fields) < 4 || !metricNameOK(fields[2]) {
+			c.addf(n, "malformed TYPE line %q", s)
+			return
+		}
+		name, kind := fields[2], strings.TrimSpace(fields[3])
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			c.addf(n, "unknown TYPE %q for %s", kind, name)
+		}
+		if _, dup := c.types[name]; dup {
+			c.addf(n, "duplicate TYPE for %s", name)
+		}
+		if c.seen[name] > 0 {
+			c.addf(n, "TYPE for %s appears after its samples", name)
+		}
+		c.types[name] = kind
+	}
+}
+
+// baseName strips a histogram/summary suffix when the base family was
+// declared with that type.
+func (c *checker) baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t, ok := c.types[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+func (c *checker) sample(n int, s string) {
+	name, labels, rest, err := parseSampleLine(s)
+	if err != nil {
+		c.addf(n, "%v", err)
+		return
+	}
+	if !metricNameOK(name) {
+		c.addf(n, "invalid metric name %q", name)
+		return
+	}
+	dup := map[string]bool{}
+	for _, l := range labels {
+		if l.Name != "le" && l.Name != "quantile" && !labelNameOK(l.Name) {
+			c.addf(n, "metric %s: invalid label name %q", name, l.Name)
+		}
+		if dup[l.Name] {
+			c.addf(n, "metric %s: duplicate label %q", name, l.Name)
+		}
+		dup[l.Name] = true
+	}
+	valueStr := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		valueStr = rest[:i]
+		ts := strings.TrimSpace(rest[i:])
+		if ts != "" {
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				c.addf(n, "metric %s: bad timestamp %q", name, ts)
+			}
+		}
+	}
+	value, err := parseValue(valueStr)
+	if err != nil {
+		c.addf(n, "metric %s: %v", name, err)
+		return
+	}
+
+	family := c.baseName(name)
+	if c.closed[family] && family != c.current {
+		c.addf(n, "samples of %s are not contiguous", family)
+	}
+	if c.current != "" && c.current != family {
+		c.closed[c.current] = true
+	}
+	c.current = family
+	c.seen[family]++
+
+	fp := fingerprint(name, labels)
+	if line, ok := c.seenLine[fp]; ok {
+		c.addf(n, "duplicate sample %s (first at line %d)", fp, line)
+	} else {
+		c.seenLine[fp] = n
+	}
+
+	if t := c.types[family]; t == "counter" && value < 0 {
+		c.addf(n, "counter %s has negative value %v", name, value)
+	}
+	if c.types[family] == "histogram" {
+		c.histSample(n, family, name, labels, value)
+	}
+}
+
+func (c *checker) histSample(n int, family, name string, labels []Label, value float64) {
+	h := c.hists[family]
+	if h == nil {
+		h = &histCheck{buckets: map[string][]bucket{}, counts: map[string]float64{}}
+		c.hists[family] = h
+	}
+	// Fingerprint without le, so buckets of one series group together.
+	var rest []Label
+	le := math.NaN()
+	for _, l := range labels {
+		if l.Name == "le" {
+			v, err := parseValue(l.Value)
+			if err != nil {
+				c.addf(n, "histogram %s: bad le %q", family, l.Value)
+				return
+			}
+			le = v
+			continue
+		}
+		rest = append(rest, l)
+	}
+	fp := fingerprint(family, rest)
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if math.IsNaN(le) {
+			c.addf(n, "histogram %s: _bucket sample without le label", family)
+			return
+		}
+		if _, ok := h.buckets[fp]; !ok {
+			h.order = append(h.order, fp)
+		}
+		h.buckets[fp] = append(h.buckets[fp], bucket{le: le, count: value, line: n})
+	case strings.HasSuffix(name, "_count"):
+		h.counts[fp] = value
+	}
+}
+
+func (c *checker) finish() {
+	for family, h := range c.hists {
+		for _, fp := range h.order {
+			bs := h.buckets[fp]
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					c.addf(bs[i].line, "histogram %s{%s}: le buckets not sorted ascending", family, fp)
+				}
+				if bs[i].count < bs[i-1].count {
+					c.addf(bs[i].line, "histogram %s{%s}: bucket counts not monotonically non-decreasing (%v after %v)",
+						family, fp, bs[i].count, bs[i-1].count)
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, +1) {
+				c.addf(last.line, "histogram %s{%s}: missing le=\"+Inf\" bucket", family, fp)
+				continue
+			}
+			if count, ok := h.counts[fp]; ok && count != last.count {
+				c.addf(last.line, "histogram %s{%s}: +Inf bucket %v != _count %v",
+					family, fp, last.count, count)
+			}
+		}
+	}
+}
+
+// fingerprint renders name plus sorted labels as a series identity.
+func fingerprint(name string, labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		fmt.Fprintf(&b, ",%s=%s", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	case "":
+		return 0, fmt.Errorf("missing value")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// parseSampleLine splits `name{label="v",...} value [ts]` into parts,
+// validating the label-value escape discipline.
+func parseSampleLine(s string) (name string, labels []Label, rest string, err error) {
+	i := strings.IndexAny(s, "{ \t")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", s)
+	}
+	name = s[:i]
+	if s[i] != '{' {
+		return name, nil, strings.TrimSpace(s[i:]), nil
+	}
+	p := i + 1
+	for {
+		for p < len(s) && (s[p] == ' ' || s[p] == ',') {
+			p++
+		}
+		if p >= len(s) {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", s)
+		}
+		if s[p] == '}' {
+			p++
+			break
+		}
+		eq := strings.IndexByte(s[p:], '=')
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := strings.TrimSpace(s[p : p+eq])
+		p += eq + 1
+		if p >= len(s) || s[p] != '"' {
+			return "", nil, "", fmt.Errorf("label value for %s not quoted in %q", lname, s)
+		}
+		p++
+		var val strings.Builder
+		for {
+			if p >= len(s) {
+				return "", nil, "", fmt.Errorf("unterminated label value for %s in %q", lname, s)
+			}
+			ch := s[p]
+			if ch == '"' {
+				p++
+				break
+			}
+			if ch == '\\' {
+				if p+1 >= len(s) {
+					return "", nil, "", fmt.Errorf("dangling escape in label value for %s", lname)
+				}
+				switch s[p+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", nil, "", fmt.Errorf("invalid escape \\%c in label value for %s", s[p+1], lname)
+				}
+				p += 2
+				continue
+			}
+			val.WriteByte(ch)
+			p++
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+	}
+	return name, labels, strings.TrimSpace(s[p:]), nil
+}

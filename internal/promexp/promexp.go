@@ -1,0 +1,313 @@
+// Package promexp renders metrics in the Prometheus text exposition format
+// (version 0.0.4) using only the standard library. It is the scrape surface
+// of the uvmsimd observability plane: the service builds a []Family on every
+// GET /metrics from its counters, queue gauges, latency histograms, and the
+// simulation collectors of active runs, and Write renders them with HELP and
+// TYPE lines, escaped label values, and deterministic ordering.
+//
+// The package deliberately has no registry and no background state: a scrape
+// is a pure function of the samples the caller assembles, which keeps the
+// exporter trivially consistent with the snapshot semantics of
+// metrics.Collector (every scrape sees one atomic snapshot per collector,
+// never a torn read). The only stateful type is Histogram, whose Observe is
+// safe for concurrent use because the service's worker pool records job
+// latencies from many goroutines.
+//
+// lint.go holds Check, a validator for the same format; cmd/uvmlint -expfmt
+// and CI use it to prove the served exposition parses.
+package promexp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's TYPE.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution (_bucket/_sum/_count
+	// samples with an "le" label).
+	KindHistogram
+	// KindUntyped is a value with no declared type.
+	KindUntyped
+)
+
+// String renders the TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindUntyped:
+		return "untyped"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Label is one name="value" pair. Values may contain any UTF-8; Write
+// escapes backslashes, quotes, and newlines.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Sample is one exposition line of a family. Suffix is empty for plain
+// counters and gauges; histogram samples use "_bucket", "_sum", "_count".
+type Sample struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: a HELP line, a TYPE line, and its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Counter builds a single-sample counter family.
+func Counter(name, help string, v float64, labels ...Label) Family {
+	return Family{Name: name, Help: help, Kind: KindCounter,
+		Samples: []Sample{{Labels: labels, Value: v}}}
+}
+
+// Gauge builds a single-sample gauge family.
+func Gauge(name, help string, v float64, labels ...Label) Family {
+	return Family{Name: name, Help: help, Kind: KindGauge,
+		Samples: []Sample{{Labels: labels, Value: v}}}
+}
+
+// metricNameOK matches the Prometheus metric-name grammar.
+func metricNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelNameOK matches the Prometheus label-name grammar (no colons).
+func labelNameOK(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with the spelled-out specials.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders the families in order. It returns an error (writing
+// nothing further) on an invalid metric or label name, so a typo in a new
+// metric fails the exporter's own tests instead of producing a scrape the
+// server cannot ingest.
+func Write(w io.Writer, families []Family) error {
+	var b strings.Builder
+	for _, f := range families {
+		if !metricNameOK(f.Name) {
+			return fmt.Errorf("promexp: invalid metric name %q", f.Name)
+		}
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			b.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if !labelNameOK(l.Name) {
+						return fmt.Errorf("promexp: metric %s: invalid label name %q", f.Name, l.Name)
+					}
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SortSamples orders a family's samples by their label values, for
+// deterministic output when samples are assembled from map iteration.
+func SortSamples(f *Family) {
+	sort.SliceStable(f.Samples, func(i, j int) bool {
+		a, b := f.Samples[i], f.Samples[j]
+		if a.Suffix != b.Suffix {
+			return a.Suffix < b.Suffix
+		}
+		for k := 0; k < len(a.Labels) && k < len(b.Labels); k++ {
+			if a.Labels[k].Value != b.Labels[k].Value {
+				return a.Labels[k].Value < b.Labels[k].Value
+			}
+		}
+		return len(a.Labels) < len(b.Labels)
+	})
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// quick-mode runs (milliseconds) through full-size experiment batches
+// (minutes).
+var DefBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation.
+// Buckets are cumulative only at render time; internally each bucket counts
+// its own interval so Observe is one binary search and two adds.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1: the last slot is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds, which
+// must be sorted strictly ascending and finite. Passing no bounds uses
+// DefBuckets.
+func NewHistogram(bounds ...float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("promexp: bucket bound %v is not finite", b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("promexp: bucket bounds not strictly ascending at %v", b)
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]uint64, len(bounds)+1)
+	return h, nil
+}
+
+// MustHistogram is NewHistogram for static bucket layouts.
+func MustHistogram(bounds ...float64) *Histogram {
+	h, err := NewHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: its bucket
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Mean returns the mean of all observations and whether any exist. The
+// service uses it as its job-latency estimate when deriving Retry-After.
+func (h *Histogram) Mean() (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0, false
+	}
+	return h.sum / float64(h.count), true
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Family renders the histogram as an exposition family: cumulative
+// _bucket samples per bound plus le="+Inf", then _sum and _count. The
+// labels are attached to every sample (before the le label).
+func (h *Histogram) Family(name, help string, labels ...Label) Family {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	f := Family{Name: name, Help: help, Kind: KindHistogram}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		f.Samples = append(f.Samples, Sample{
+			Suffix: "_bucket",
+			Labels: append(append([]Label(nil), labels...), L("le", formatValue(bound))),
+			Value:  float64(cum),
+		})
+	}
+	f.Samples = append(f.Samples,
+		Sample{Suffix: "_bucket",
+			Labels: append(append([]Label(nil), labels...), L("le", "+Inf")),
+			Value:  float64(count)},
+		Sample{Suffix: "_sum", Labels: labels, Value: sum},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(count)},
+	)
+	return f
+}

@@ -1,0 +1,196 @@
+package promexp
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFamilies is a fixed exposition exercising every renderer feature:
+// counters with and without labels, gauges, label-value escaping, and a
+// histogram with cumulative buckets.
+func goldenFamilies(t *testing.T) []Family {
+	t.Helper()
+	h := MustHistogram(0.1, 0.5, 1)
+	for _, v := range []float64{0.05, 0.05, 0.3, 0.7, 2.5} {
+		h.Observe(v)
+	}
+	return []Family{
+		Counter("uvmsim_transfer_bytes_total",
+			"Bytes moved over the simulated interconnect.",
+			1<<30, L("device", "gpu0"), L("direction", "H2D"), L("cause", "fault")),
+		{
+			Name: "uvmsim_evictions_total",
+			Help: "Chunk allocations by eviction source.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Labels: []Label{L("device", "gpu0"), L("source", "discarded")}, Value: 42},
+				{Labels: []Label{L("device", "gpu0"), L("source", "lru")}, Value: 7},
+			},
+		},
+		Gauge("uvmsimd_queue_depth", "Jobs waiting in the admission queue.", 3),
+		Gauge("uvmsim_escape_check",
+			"Label values with \\ backslash, \" quote, and\nnewline survive.",
+			1, L("path", `C:\tmp`), L("quote", `say "hi"`), L("nl", "a\nb")),
+		h.Family("uvmsimd_job_duration_seconds",
+			"Wall-clock latency of finished jobs."),
+	}
+}
+
+func TestWriteGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, goldenFamilies(t)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.prom")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendering drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	// The golden exposition must satisfy our own checker.
+	if probs := CheckText(buf.Bytes()); len(probs) != 0 {
+		t.Errorf("golden exposition fails Check: %v", probs)
+	}
+}
+
+func TestWriteRejectsBadNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Family{Counter("0bad", "", 1)}); err == nil {
+		t.Error("invalid metric name accepted")
+	}
+	if err := Write(&buf, []Family{Counter("ok_total", "", 1, L("0bad", "x"))}); err == nil {
+		t.Error("invalid label name accepted")
+	}
+}
+
+func TestHistogramBucketsCumulativeAndMonotonic(t *testing.T) {
+	h := MustHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	f := h.Family("d_seconds", "")
+	// buckets: le=1 -> 1, le=2 -> 3, le=4 -> 4, +Inf -> 5
+	wantCum := []float64{1, 3, 4, 5}
+	var got []float64
+	for _, s := range f.Samples {
+		if s.Suffix == "_bucket" {
+			got = append(got, s.Value)
+		}
+	}
+	if len(got) != len(wantCum) {
+		t.Fatalf("bucket samples = %v, want %v", got, wantCum)
+	}
+	for i := range got {
+		if got[i] != wantCum[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], wantCum[i])
+		}
+	}
+	if mean, ok := h.Mean(); !ok || math.Abs(mean-(0.5+1.5+1.5+3+100)/5) > 1e-9 {
+		t.Errorf("Mean = %v, %v", mean, ok)
+	}
+	// A boundary value lands in the bucket whose le equals it.
+	hb := MustHistogram(1, 2)
+	hb.Observe(1)
+	if f := hb.Family("b", ""); f.Samples[0].Value != 1 {
+		t.Errorf("value on bucket boundary not counted le-inclusive: %+v", f.Samples)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(2, 1); err == nil {
+		t.Error("unsorted bounds accepted")
+	}
+	if _, err := NewHistogram(1, 1); err == nil {
+		t.Error("duplicate bounds accepted")
+	}
+	if _, err := NewHistogram(math.Inf(1)); err == nil {
+		t.Error("+Inf bound accepted")
+	}
+	if h, err := NewHistogram(); err != nil || len(h.bounds) != len(DefBuckets) {
+		t.Errorf("default buckets: %v, %v", h, err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := MustHistogram(DefBuckets...)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%200) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of a reported problem; "" means clean
+	}{
+		{"clean", "# TYPE a_total counter\na_total 1\n", ""},
+		{"clean labels", "a{x=\"1\",y=\"2\"} 3\n", ""},
+		{"bad name", "2bad 1\n", "invalid metric name"},
+		{"bad label", "a{__x=\"1\"} 1\n", "invalid label name"},
+		{"dup label", "a{x=\"1\",x=\"2\"} 1\n", "duplicate label"},
+		{"bad value", "a one\n", "bad value"},
+		{"bad escape", "a{x=\"\\t\"} 1\n", "invalid escape"},
+		{"dup sample", "a 1\na 2\n", "duplicate sample"},
+		{"dup type", "# TYPE a counter\n# TYPE a gauge\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE a flurble\n", "unknown TYPE"},
+		{"type after samples", "a 1\n# TYPE a counter\n", "after its samples"},
+		{"negative counter", "# TYPE a counter\na -1\n", "negative value"},
+		{"interleaved", "a 1\nb 1\na{x=\"1\"} 2\n", "not contiguous"},
+		{"hist no inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			`missing le="+Inf"`},
+		{"hist not monotonic",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 6\n",
+			"not monotonically"},
+		{"hist inf vs count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 6\nh_sum 1\nh_count 7\n",
+			"!= _count"},
+		{"hist unsorted le",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"not sorted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probs := CheckText([]byte(tc.text))
+			if tc.want == "" {
+				if len(probs) != 0 {
+					t.Errorf("clean exposition reported: %v", probs)
+				}
+				return
+			}
+			for _, p := range probs {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Errorf("problems %v do not mention %q", probs, tc.want)
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"uvmdiscard/internal/sim"
@@ -108,9 +109,35 @@ func AsInterrupt(err error) *Interrupt {
 // no measurable overhead to the driver loop.
 const wallCheckStride = 32
 
+// progressStride is how many Check calls elapse between progress-snapshot
+// publications. Publishing allocates one Progress record, so it shares the
+// watchdog's philosophy: cheap per call, amortized heavier work.
+const progressStride = 64
+
+// Progress is a point-in-time observation of a run taken at a driver
+// checkpoint: which operation the run last crossed, how far the simulated
+// clock has advanced, and how many checkpoints it has passed. It is the
+// payload of the uvmsimd progress stream — a client watching a job sees
+// sim-time advance without polling the job resource.
+type Progress struct {
+	// Op is the driver operation at the observed checkpoint.
+	Op string
+	// SimTime is the simulated clock at the observed checkpoint.
+	SimTime sim.Time
+	// Checks is the number of checkpoints the run has crossed so far.
+	Checks uint64
+	// Done marks the final observation of an interrupted run (the trip
+	// point); completed runs simply stop publishing.
+	Done bool
+}
+
 // Control carries one run's cancellation and budget state. The zero value
 // and the nil pointer are both inert (Check always passes), so fault-free
 // code paths pay a single nil comparison.
+//
+// A Control is single-threaded except for prog: the run publishes progress
+// snapshots from inside Check, and any number of observer goroutines may
+// read them through Progress — the one cross-goroutine surface of the type.
 type Control struct {
 	ctx          context.Context
 	wallDeadline time.Time
@@ -118,6 +145,8 @@ type Control struct {
 	simBudget    sim.Time
 	calls        uint64
 	tripped      *Interrupt
+
+	prog atomic.Pointer[Progress]
 }
 
 // New builds a control for one run. ctx may be nil (never canceled);
@@ -161,6 +190,9 @@ func (c *Control) Check(op string, now sim.Time) *Interrupt {
 		return c.tripped
 	}
 	c.calls++
+	if c.calls == 1 || c.calls%progressStride == 0 {
+		c.prog.Store(&Progress{Op: op, SimTime: now, Checks: c.calls})
+	}
 	if c.ctx != nil {
 		select {
 		case <-c.ctx.Done():
@@ -185,7 +217,24 @@ func (c *Control) trip(r Reason, op string, now sim.Time, cause error) *Interrup
 		wall = time.Since(c.started)
 	}
 	c.tripped = &Interrupt{Reason: r, Op: op, SimTime: now, Wall: wall, Cause: cause}
+	// Final progress observation: observers see exactly where the run
+	// stopped, marked Done so streams can close promptly.
+	c.prog.Store(&Progress{Op: op, SimTime: now, Checks: c.calls, Done: true})
 	return c.tripped
+}
+
+// Progress returns the most recently published progress observation and
+// whether one exists yet. Safe to call from any goroutine, and on a nil
+// control (reports no progress).
+func (c *Control) Progress() (Progress, bool) {
+	if c == nil {
+		return Progress{}, false
+	}
+	p := c.prog.Load()
+	if p == nil {
+		return Progress{}, false
+	}
+	return *p, true
 }
 
 // Abort panics with the interrupt. The driver calls this when a Check

@@ -134,3 +134,54 @@ func TestRecoverKeepsEarlierError(t *testing.T) {
 		t.Fatalf("Recover overwrote an earlier error: %v", got)
 	}
 }
+
+// Progress snapshots publish on the first check, on the stride, and at the
+// trip point — and are readable from another goroutine while the run keeps
+// checking (the progress-stream contract).
+func TestProgressObservation(t *testing.T) {
+	var c *Control
+	if _, ok := c.Progress(); ok {
+		t.Fatal("nil control reports progress")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctl := New(ctx, 0, 0)
+	if _, ok := ctl.Progress(); ok {
+		t.Fatal("fresh control reports progress before any check")
+	}
+	ctl.Check("kernel", 5*sim.Microsecond)
+	p, ok := ctl.Progress()
+	if !ok || p.Op != "kernel" || p.SimTime != 5*sim.Microsecond || p.Checks != 1 {
+		t.Fatalf("first-check progress = %+v, %v", p, ok)
+	}
+
+	// Advance past one stride: the snapshot must move forward.
+	for i := 2; i <= progressStride+1; i++ {
+		ctl.Check("evict", sim.Time(i)*sim.Microsecond)
+	}
+	p2, _ := ctl.Progress()
+	if p2.Checks <= p.Checks || p2.SimTime <= p.SimTime {
+		t.Fatalf("progress did not advance: %+v -> %+v", p, p2)
+	}
+
+	// Concurrent reader while the run keeps checking (run under -race).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			ctl.Progress()
+		}
+	}()
+	for i := 0; i < 10*progressStride; i++ {
+		ctl.Check("migrate", sim.Time(i)*sim.Millisecond)
+	}
+	<-done
+
+	// The trip publishes a final Done observation at the stop point.
+	cancel()
+	ctl.Check("fault", 42*sim.Second)
+	fin, ok := ctl.Progress()
+	if !ok || !fin.Done || fin.Op != "fault" || fin.SimTime != 42*sim.Second {
+		t.Fatalf("trip progress = %+v, %v", fin, ok)
+	}
+}

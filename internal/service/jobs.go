@@ -10,6 +10,7 @@ import (
 
 	"uvmdiscard/internal/experiments"
 	"uvmdiscard/internal/faultinject"
+	"uvmdiscard/internal/metrics"
 	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 )
@@ -155,6 +156,15 @@ type job struct {
 	errMsg  string
 	resumed int
 	done    chan struct{}
+	// ctl is the most recently armed run control — the handle the progress
+	// stream reads sim-time advance through. Workload jobs arm exactly one;
+	// batch jobs re-arm per experiment (via experiments.Options.OnControl).
+	ctl *runctl.Control
+	// col is the run's live simulation collector (workload jobs only); the
+	// /metrics exporter snapshots it while the run executes.
+	col *metrics.Collector
+	// finished counts batch experiments completed so far, for progress.
+	finished int
 
 	// testGate, when non-nil (tests only), parks the worker after the job
 	// reaches the running state until the channel is closed. It makes
@@ -196,8 +206,61 @@ func (s *Server) newJob(kind jobKind, run RunRequest, batch *BatchRequest) *job 
 
 // control builds the job's fresh per-run watchdog. Called once per
 // simulation run, never shared (runctl.Control is single-threaded state).
+// The control is remembered as the job's current one so the progress
+// stream can observe it (runctl.Control.Progress is the one cross-
+// goroutine-safe surface of a control).
 func (j *job) control() *runctl.Control {
-	return runctl.New(j.ctx, j.wall, j.simB)
+	c := runctl.New(j.ctx, j.wall, j.simB)
+	j.setControl(c)
+	return c
+}
+
+func (j *job) setControl(c *runctl.Control) {
+	j.mu.Lock()
+	j.ctl = c
+	j.mu.Unlock()
+}
+
+func (j *job) currentControl() *runctl.Control {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctl
+}
+
+func (j *job) setCollector(c *metrics.Collector) {
+	j.mu.Lock()
+	j.col = c
+	j.mu.Unlock()
+}
+
+func (j *job) collector() *metrics.Collector {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.col
+}
+
+func (j *job) addFinished(n int) {
+	j.mu.Lock()
+	j.finished += n
+	j.mu.Unlock()
+}
+
+func (j *job) finishedRuns() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// terminal reports whether the job has reached a sticky terminal state —
+// the retention policy may only evict terminal jobs.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case stateDone, stateFailed, stateCanceled, stateDeadline, stateBudget, stateShed:
+		return true
+	}
+	return false
 }
 
 func (j *job) setState(st jobState) {

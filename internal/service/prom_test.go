@@ -1,0 +1,396 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uvmdiscard/internal/promexp"
+)
+
+// The retention bugfix: the job table stays bounded no matter how many jobs
+// the server has ever finished, while queued and running jobs are never
+// evicted. Before Config.RetainJobs the map grew by one entry per
+// submission for the life of the process.
+func TestRetentionBoundsJobTable(t *testing.T) {
+	const retain = 3
+	s, ts := newTestService(t, Config{Workers: 2, QueueDepth: 16, RetainJobs: retain})
+
+	// Park one worker on a gated in-flight job: it predates everything the
+	// test finishes, so eviction would pick it first if the policy ever
+	// considered non-terminal jobs.
+	gate := make(chan struct{})
+	inflight := s.newJob(jobWorkload, RunRequest{Workload: "fir", Quick: true}, nil)
+	inflight.testGate = gate
+	if !s.admit(inflight) {
+		t.Fatal("admit gated job")
+	}
+	waitState(t, ts, inflight.id, stateRunning)
+
+	// Finish far more jobs than the bound.
+	var ids []string
+	for i := 0; i < 3*retain; i++ {
+		_, js := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true})
+		waitState(t, ts, js.ID, stateDone)
+		ids = append(ids, js.ID)
+	}
+
+	// The deferred prune races the state read by a hair; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n, ordered := len(s.jobs), len(s.order)
+		s.mu.Unlock()
+		if n != ordered {
+			t.Fatalf("jobs map (%d) and order slice (%d) diverged", n, ordered)
+		}
+		if n <= retain+1 { // retained terminal jobs + the running gated one
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job table holds %d entries, want <= %d", n, retain+1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Evicted history 404s; recent history and live work survive.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job %s: %d, want 404", ids[0], resp.StatusCode)
+	}
+	if got := getJob(t, ts, ids[len(ids)-1]); got.State != stateDone {
+		t.Errorf("most recent job evicted or wrong: %+v", got)
+	}
+	if got := getJob(t, ts, inflight.id); got.State != stateRunning {
+		t.Errorf("in-flight job did not survive retention: %+v", got)
+	}
+	// Released, the gated job completes normally — and only then becomes
+	// evictable (it is now the oldest terminal job). Observe it through the
+	// struct: the HTTP view may legitimately 404 right after completion.
+	close(gate)
+	select {
+	case <-inflight.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("gated job never finished after release")
+	}
+	if st := inflight.status(); st.State != stateDone {
+		t.Errorf("released job state = %s, want done", st.State)
+	}
+}
+
+// The Retry-After bugfix: the hint is derived from queue occupancy and the
+// observed job latency instead of the hard-coded 1. A fuller queue and a
+// slower service both raise it.
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	mk := func(workers, depth int) *Server {
+		// Built directly (no New) so no workers drain the queue we stage.
+		return &Server{
+			cfg:     Config{Workers: workers},
+			queue:   make(chan *job, depth),
+			latency: promexp.MustHistogram(),
+		}
+	}
+
+	shallow, deep := mk(1, 8), mk(1, 8)
+	shallow.queue <- nil
+	for i := 0; i < 8; i++ {
+		deep.queue <- nil
+	}
+	a, b := shallow.retryAfterSeconds(), deep.retryAfterSeconds()
+	if a < 1 || b < 1 {
+		t.Fatalf("hints below 1s: %d, %d", a, b)
+	}
+	if b <= a {
+		t.Errorf("deeper backlog hint %ds not above shallow %ds", b, a)
+	}
+
+	// Slower observed jobs raise the hint at equal occupancy.
+	slow := mk(1, 8)
+	for i := 0; i < 8; i++ {
+		slow.queue <- nil
+	}
+	slow.latency.Observe(10)
+	if c := slow.retryAfterSeconds(); c <= b {
+		t.Errorf("10s-mean hint %ds not above 1s-default hint %ds", c, b)
+	}
+
+	// More workers drain the same backlog faster.
+	wide := mk(4, 8)
+	for i := 0; i < 8; i++ {
+		wide.queue <- nil
+	}
+	if d := wide.retryAfterSeconds(); d >= b {
+		t.Errorf("4-worker hint %ds not below 1-worker hint %ds", d, b)
+	}
+
+	// The clamp keeps a pathological estimate HTTP-usable.
+	huge := mk(1, 8)
+	huge.queue <- nil
+	huge.latency.Observe(1e6)
+	if e := huge.retryAfterSeconds(); e != 300 {
+		t.Errorf("clamped hint = %d, want 300", e)
+	}
+}
+
+// scrape fetches /metrics, validates the exposition with promexp.Check, and
+// returns the body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := promexp.CheckText(body); len(problems) != 0 {
+		t.Fatalf("exposition invalid:\n%s", strings.Join(problems, "\n"))
+	}
+	return string(body)
+}
+
+// sumSamples adds the values of every sample of a family — the robust way
+// to assert "some traffic happened" without tying the test to which cause
+// a particular workload's transfers carry.
+func sumSamples(t *testing.T, body, name string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+"{") && !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		f := strings.Fields(line)
+		v, err := strconv.ParseFloat(f[len(f)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// sampleValue finds one exposition line by prefix and returns its value.
+func sampleValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no sample with prefix %q", prefix)
+	return 0
+}
+
+// The /metrics exposition covers all three layers after a real run: service
+// counters, the latency histogram, cumulative simulation counters, and the
+// per-device residency gauges of the finished run.
+func TestPromMetricsCoversAllLayers(t *testing.T) {
+	s, ts := newTestService(t, Config{Workers: 1})
+	_, js := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true, System: "discard"})
+	waitState(t, ts, js.ID, stateDone)
+	// Wait for the worker's deferred latency observation to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.latency.Count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := scrape(t, ts)
+	if v := sampleValue(t, body, "uvmsimd_jobs_admitted_total"); v != 1 {
+		t.Errorf("admitted = %v, want 1", v)
+	}
+	if v := sampleValue(t, body, `uvmsimd_jobs_finished_total{outcome="done"}`); v != 1 {
+		t.Errorf("finished done = %v, want 1", v)
+	}
+	if v := sampleValue(t, body, "uvmsimd_job_duration_seconds_count"); v != 1 {
+		t.Errorf("duration count = %v, want 1", v)
+	}
+	if v := sumSamples(t, body, "uvmsim_transfer_bytes_total"); v <= 0 {
+		t.Errorf("transfer bytes = %v, want > 0", v)
+	}
+	if v := sampleValue(t, body, "uvmsim_discard_calls_total"); v <= 0 {
+		t.Errorf("discard calls = %v, want > 0 for the discard system", v)
+	}
+	// The finished run's end-state residency gauges are labeled with its
+	// job, workload, and device.
+	pfx := `uvmsim_device_capacity_bytes{job="` + js.ID + `",workload="fir",device="gpu0"}`
+	if v := sampleValue(t, body, pfx); v <= 0 {
+		t.Errorf("capacity gauge = %v, want > 0", v)
+	}
+	if !strings.Contains(body, "uvmsim_evictions_total{") {
+		t.Error("evictions family missing")
+	}
+
+	// Counters are cumulative: a second run only increases them.
+	before := sumSamples(t, body, "uvmsim_transfer_bytes_total")
+	_, js2 := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true})
+	waitState(t, ts, js2.ID, stateDone)
+	after := sumSamples(t, scrape(t, ts), "uvmsim_transfer_bytes_total")
+	if after <= before {
+		t.Errorf("transfer counter not monotonic: %v then %v", before, after)
+	}
+}
+
+// Scrapes racing live submissions stay valid and monotonic — the guarantee
+// the cumulative-plus-active collector design exists for. Run with -race.
+func TestPromMetricsConcurrentWithJobs(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2, QueueDepth: 16})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			_, js := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true, System: "discard"})
+			waitState(t, ts, js.ID, stateDone)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1.0
+			for {
+				body := scrape(t, ts)
+				v := sumSamples(t, body, "uvmsim_transfer_bytes_total")
+				if v < last {
+					t.Errorf("counter went backwards: %v after %v", v, last)
+					return
+				}
+				last = v
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+func readSSE(t *testing.T, r *bufio.Reader) (sseEvent, bool) {
+	t.Helper()
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, false
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && ev.name != "":
+			return ev, true
+		}
+	}
+}
+
+// The progress stream follows a live run: sim time advances across events,
+// and cancellation ends the stream with a "done" event carrying the
+// terminal state.
+func TestProgressStreamFollowsRun(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+	_, js := post(t, ts, "/v1/runs", RunRequest{Workload: "spin"})
+	waitState(t, ts, js.ID, stateRunning)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + js.ID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	var sims []int64
+	canceled := false
+	for i := 0; i < 200; i++ {
+		ev, ok := readSSE(t, br)
+		if !ok {
+			t.Fatal("stream ended without done event")
+		}
+		if ev.name == "done" {
+			var st jobStatus
+			if err := json.Unmarshal([]byte(ev.data), &st); err != nil {
+				t.Fatalf("done payload: %v", err)
+			}
+			if st.State != stateCanceled {
+				t.Errorf("done state = %s, want canceled", st.State)
+			}
+			if len(sims) < 2 {
+				t.Fatalf("saw only %d progress events before done", len(sims))
+			}
+			if last := sims[len(sims)-1]; last <= sims[0] {
+				t.Errorf("sim time did not advance: %v", sims)
+			}
+			return
+		}
+		var pe progressEvent
+		if err := json.Unmarshal([]byte(ev.data), &pe); err != nil {
+			t.Fatalf("progress payload %q: %v", ev.data, err)
+		}
+		if pe.SimTimeUS > 0 {
+			sims = append(sims, pe.SimTimeUS)
+		}
+		// Two advancing observations are enough: cancel and expect done.
+		if len(sims) >= 2 && !canceled {
+			canceled = true
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+js.ID, nil)
+			if _, err := http.DefaultClient.Do(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Fatal("no done event after 200 events")
+}
+
+// A progress stream for an unknown job 404s instead of hanging.
+func TestProgressStreamUnknownJob(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job progress: %d, want 404", resp.StatusCode)
+	}
+}

@@ -20,17 +20,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"path/filepath"
 	"regexp"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"uvmdiscard/internal/experiments"
 	"uvmdiscard/internal/metrics"
+	"uvmdiscard/internal/promexp"
 	"uvmdiscard/internal/sim"
 )
 
@@ -55,6 +58,13 @@ type Config struct {
 	// DefaultSimBudget caps each run's simulated time when the request does
 	// not set its own; 0 means unlimited.
 	DefaultSimBudget sim.Time
+	// RetainJobs bounds how many finished jobs the server keeps for
+	// GET /v1/jobs{,/{id}}; <1 means 256. When a new submission would exceed
+	// the bound, the oldest terminal jobs are evicted (their IDs then 404).
+	// Queued and running jobs are never evicted and do not count against the
+	// bound, so the job table is O(RetainJobs + in-flight) forever instead of
+	// growing with every submission the process has ever seen.
+	RetainJobs int
 	// Log receives service events; nil discards them.
 	Log *log.Logger
 }
@@ -74,6 +84,13 @@ type Server struct {
 	workers sync.WaitGroup
 	queue   chan *job
 
+	// latency distributes finished-job wall time (seconds); it synchronizes
+	// itself, and its mean feeds the Retry-After hint shed responses carry.
+	latency *promexp.Histogram
+	// sims aggregates simulation collectors for the /metrics exporter; it
+	// carries its own lock.
+	sims simState
+
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*job
@@ -91,19 +108,26 @@ func New(cfg Config) *Server {
 	if cfg.DefaultWallBudget <= 0 {
 		cfg.DefaultWallBudget = 2 * time.Minute
 	}
-	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+	if cfg.RetainJobs < 1 {
+		cfg.RetainJobs = 256
 	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		latency: promexp.MustHistogram(),
+		jobs:    make(map[string]*job),
+	}
+	s.sims.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleJobProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -154,10 +178,45 @@ func (s *Server) admit(j *job) bool {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.sc.Admitted.Add(1)
+		s.pruneLocked()
 		return true
 	default:
 		return false
 	}
+}
+
+// prune enforces Config.RetainJobs. Called after every admission and every
+// job completion so the table shrinks as soon as evictable history exists.
+func (s *Server) prune() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+}
+
+// pruneLocked evicts the oldest terminal jobs until at most RetainJobs of
+// them remain. Queued and running jobs are untouchable regardless of age —
+// evicting those would orphan live work. Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			terminal++
+		}
+	}
+	evict := terminal - s.cfg.RetainJobs
+	if evict <= 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if evict > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			evict--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
 }
 
 func (s *Server) lookup(id string) *job {
@@ -176,6 +235,7 @@ func (s *Server) worker() {
 			// Canceled while still queued: report, never run.
 			j.finish(stateCanceled, "", fmt.Sprintf("canceled while queued: %v", j.ctx.Err()))
 			s.sc.Canceled.Add(1)
+			s.prune()
 			continue
 		}
 		s.runJob(j)
@@ -183,6 +243,7 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *job) {
+	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
 			s.sc.Panics.Add(1)
@@ -190,6 +251,12 @@ func (s *Server) runJob(j *job) {
 			j.finish(stateFailed, "", fmt.Sprintf("panic: %v", p))
 			s.sc.Failed.Add(1)
 		}
+		// Every path through a run — clean, interrupted, panicked — feeds the
+		// latency histogram (the Retry-After estimate must see the jobs that
+		// blew their budgets, not just the happy ones) and then lets the
+		// retention policy reclaim evictable history.
+		s.latency.Observe(time.Since(start).Seconds())
+		s.prune()
 	}()
 	j.setState(stateRunning)
 	if j.testGate != nil {
@@ -284,10 +351,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) shed(w http.ResponseWriter) {
 	s.sc.Shed.Add(1)
-	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-		"error": "queue full or shutting down; retry later",
+	retry := s.retryAfterSeconds()
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":               "queue full or shutting down; retry later",
+		"retry_after_seconds": retry,
 	})
+}
+
+// retryAfterSeconds derives the shed response's Retry-After hint from the
+// actual load instead of a hard-coded constant: the backlog a retrying
+// client would sit behind (current queue occupancy plus its own slot),
+// spread across the worker pool, at the observed mean job latency. With no
+// completed jobs yet the estimate assumes one second per job. Clamped to
+// [1, 300] so a pathological backlog still yields a usable HTTP hint.
+func (s *Server) retryAfterSeconds() int {
+	mean, ok := s.latency.Mean()
+	if !ok || mean <= 0 {
+		mean = 1
+	}
+	backlog := float64(len(s.queue) + 1)
+	sec := int(math.Ceil(mean * backlog / float64(s.cfg.Workers)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 300 {
+		sec = 300
+	}
+	return sec
 }
 
 func (s *Server) submit(w http.ResponseWriter, j *job) {

@@ -9,6 +9,7 @@ import (
 	"uvmdiscard/internal/cuda"
 	"uvmdiscard/internal/experiments"
 	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/metrics"
 	"uvmdiscard/internal/pcie"
 	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
@@ -38,7 +39,8 @@ func parseSystem(name string) (workloads.System, error) {
 }
 
 // platformFor builds the one-run platform: fresh control (the job's ctx +
-// budgets), fresh fault schedule reference, PCIe-4.
+// budgets), fresh fault schedule reference, PCIe-4, and the job's live
+// metrics collector so the /metrics exporter can watch the run.
 func platformFor(req RunRequest, gpu gpudev.Profile, j *job) workloads.Platform {
 	return workloads.Platform{
 		GPU:            gpu,
@@ -46,6 +48,7 @@ func platformFor(req RunRequest, gpu gpudev.Profile, j *job) workloads.Platform 
 		OversubPercent: req.Ovsp,
 		Faults:         req.faults,
 		Control:        j.control(),
+		Metrics:        j.collector(),
 	}
 }
 
@@ -67,12 +70,16 @@ func (s *Server) runWorkloadJob(j *job) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Register the run's collector with the exporter for its lifetime; on
+	// completion the counters fold into the cumulative totals.
+	col := s.beginRun(j, req.Workload)
+	defer s.endRun(j)
 	var res workloads.Result
 	switch req.Workload {
 	case "spin":
 		// Spin never completes on its own; its only exits are the
 		// structured ones (cancel, wall deadline, sim budget).
-		return "", runSpin(j.control())
+		return "", runSpin(j.control(), col)
 	case "fir":
 		cfg := fir.DefaultConfig()
 		gpu := gpudev.RTX3080Ti()
@@ -137,9 +144,9 @@ func (s *Server) runWorkloadJob(j *job) (string, error) {
 // resident buffer. It exists so the watchdog path is testable end to end —
 // a correct service kills it at its deadline and the driver state it leaves
 // behind passes the sanitizer.
-func runSpin(ctl *runctl.Control) (err error) {
+func runSpin(ctl *runctl.Control, col *metrics.Collector) (err error) {
 	defer runctl.Recover(&err)
-	p := workloads.Platform{GPU: gpudev.Generic(64 * units.MiB), Gen: pcie.Gen4, Control: ctl}
+	p := workloads.Platform{GPU: gpudev.Generic(64 * units.MiB), Gen: pcie.Gen4, Control: ctl, Metrics: col}
 	ctx, err := p.NewContext(32 * units.MiB)
 	if err != nil {
 		return err
@@ -172,6 +179,9 @@ func (s *Server) runBatchJob(j *job) (string, error) {
 		Ctx:        j.ctx,
 		WallBudget: j.wall,
 		SimBudget:  j.simB,
+		// Track each experiment's control as it arms, so the progress
+		// stream follows the batch run by run.
+		OnControl: j.setControl,
 	}
 	par := b.Parallelism
 	if par < 1 {
@@ -187,6 +197,7 @@ func (s *Server) runBatchJob(j *job) (string, error) {
 		defer jnl.Close()
 	}
 	results := experiments.RunAllJournaled(j.ctx, b.selected, opts, par, jnl, func(r experiments.RunResult) {
+		j.addFinished(1)
 		if r.Resumed {
 			j.addResumed(1)
 			s.sc.Resumed.Add(1)

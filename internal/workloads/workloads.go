@@ -108,6 +108,14 @@ type Platform struct {
 	// every context built from the platform gets its own fresh Injector
 	// from this shared schedule, preserving run isolation.
 	Faults *faultinject.Config
+	// Metrics, when non-nil, supplies the run's collector instead of a
+	// fresh one. The uvmsimd service passes a per-job collector here so
+	// its /metrics exporter can snapshot a live run's counters and
+	// per-device residency while the simulation is still going. Per-run
+	// isolation still holds: a Collector is mutex-safe for concurrent
+	// readers, but must never be shared between two simultaneously
+	// executing runs (its counters would interleave).
+	Metrics *metrics.Collector
 	// Control attaches a run control (internal/runctl): the driver loop
 	// polls it and aborts the run with a structured *runctl.Interrupt on
 	// cancellation or budget exhaustion; the workload drivers convert the
@@ -164,6 +172,7 @@ func (p Platform) NewContext(appBytes units.Size) (*cuda.Context, error) {
 		Params:        p.Params,
 		Faults:        p.Faults,
 		Control:       p.Control,
+		Metrics:       p.Metrics,
 	}
 	if p.TraceRMT {
 		cfg.Trace = trace.NewRecorder()
@@ -225,6 +234,10 @@ func CollectSince(sys System, ctx *cuda.Context, start sim.Time) Result {
 
 // Collect populates a Result from a finished context.
 func Collect(sys System, ctx *cuda.Context) Result {
+	// Final residency-gauge publish, so every finished run's collector
+	// carries its end-state per-device occupancy (live runs are refreshed
+	// on a checkpoint stride by the driver itself).
+	ctx.Driver().PublishResidency()
 	m := ctx.Metrics()
 	h2dSaved, d2hSaved := m.Saved()
 	peerBytes, _ := m.Peer()
