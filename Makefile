@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json examples repro csv ci lint chaos smoke-service clean
+.PHONY: all build test test-short test-race bench bench-json examples repro csv ci lint lint-baseline chaos smoke-service clean
 
 all: build test
 
@@ -10,13 +10,21 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# Static analysis: formatting, vet, and the project's own analyzers
-# (cmd/uvmlint: locksafe, simdet, queuestate — see DESIGN.md).
+# Static analysis: formatting, vet, and the project's own typed analyzers
+# (cmd/uvmlint: locksafe, simdet, queuestate, errsink, goroleak, lockorder,
+# discardproto — see DESIGN.md §13).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/uvmlint
+
+# The lint baseline gate: the multichecker's machine-readable output must
+# be byte-identical to the committed (empty) baseline, so a new finding —
+# or a drift in the JSON encoding itself — fails even if someone weakens
+# the exit-code path.
+lint-baseline:
+	$(GO) run ./cmd/uvmlint -format=json . | diff -u lint.baseline.json -
 
 # Full suite under the race detector — the gate on the parallel experiment
 # runner's concurrency claims.
@@ -24,7 +32,7 @@ test-race:
 	$(GO) test -race ./...
 
 # Everything CI runs (.github/workflows/ci.yml mirrors this target).
-ci: lint
+ci: lint lint-baseline
 	$(GO) build ./...
 	$(GO) test -race ./...
 
@@ -59,11 +67,12 @@ bench:
 
 # Refresh the committed performance baseline: run the quick-mode paper
 # benchmarks once each and convert the output to JSON (cmd/benchjson).
-# Compare against a branch with:
+# Each PR writes its own snapshot next to its predecessor's so regressions
+# are attributable. Compare against a branch with:
 #   jq -r '.benchmarks[].raw' BENCH_PR6.json > old.txt && benchstat old.txt new.txt
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=1 . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+		| $(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # Run every example end to end.
 examples:

@@ -101,13 +101,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}
-		defer jnl.Close()
+		defer func() {
+			if err := jnl.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: journal close: %v\n", err)
+			}
+		}()
 		if n := jnl.Resumed(); n > 0 {
 			fmt.Fprintf(os.Stderr, "paperbench: resuming, %d experiments already journaled in %s\n", n, *journal)
 		}
 	}
 
-	//uvmlint:ignore simdet host-side wall time for the progress banner, not simulated time
+	//uvmlint:ignore simdet -- host-side wall time for the progress banner, not simulated time
 	started := time.Now()
 	done := 0
 	results := experiments.RunAllJournaled(ctx, selected, opts, *jobs, jnl, func(r experiments.RunResult) {
@@ -147,7 +151,7 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "paperbench: %d experiments in %v wall time (-j %d)\n",
-		//uvmlint:ignore simdet host-side wall time for the summary line, not simulated time
+		//uvmlint:ignore simdet -- host-side wall time for the summary line, not simulated time
 		len(selected), time.Since(started).Round(time.Millisecond), *jobs)
 
 	// Failures are reported together at the end; a broken experiment never

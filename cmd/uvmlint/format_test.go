@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uvmdiscard/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// fixedDiags is a frozen finding set covering the encoder edge cases: an
+// ordinary finding, a message with JSON- and workflow-command-hostile
+// characters (quotes, %, newline), and the zero column the typecheck
+// pseudo-analyzer can produce.
+var fixedDiags = []analysis.Diagnostic{
+	{
+		Analyzer: "simdet",
+		Position: token.Position{Filename: "internal/sim/clock.go", Line: 42, Column: 7},
+		Message:  "time.Now reads the wall clock: simulation code must derive time from sim.Time",
+	},
+	{
+		Analyzer: "discardproto",
+		Position: token.Position{Filename: "internal/workloads/fir.go", Line: 9, Column: 13},
+		Message:  "b is read after being discarded — 100% dead\nsecond line with \"quotes\"",
+	},
+	{
+		Analyzer: "typecheck",
+		Position: token.Position{Filename: "cmd/broken/main.go", Line: 3},
+		Message:  "undefined: frobnicate",
+	},
+}
+
+// golden renders diags with write and compares the bytes against the named
+// golden file; -update rewrites it.
+func golden(t *testing.T, name string, write func(*bytes.Buffer) error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./cmd/uvmlint -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("%s output drifted from %s:\ngot:\n%swant:\n%s", name, path, buf.Bytes(), want)
+	}
+}
+
+// TestJSONGolden pins the -format=json encoding byte for byte: the CI
+// baseline gate diffs this output against a committed file, so any change
+// here is a breaking change for machine consumers and must be deliberate.
+func TestJSONGolden(t *testing.T) {
+	golden(t, "format.json", func(buf *bytes.Buffer) error {
+		return writeJSON(buf, fixedDiags)
+	})
+}
+
+// TestJSONEmpty pins the no-findings encoding — the content of the
+// committed lint.baseline.json — to an empty array, never null.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty findings encode as %q, want %q", got, "[]\n")
+	}
+	baseline, err := os.ReadFile(filepath.Join("..", "..", "lint.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseline, buf.Bytes()) {
+		t.Errorf("lint.baseline.json is %q; the committed baseline must be the empty finding set %q",
+			baseline, buf.String())
+	}
+}
+
+// TestGitHubGolden pins the ::error workflow-command encoding, including
+// the %-escaping of newlines required by the Actions spec.
+func TestGitHubGolden(t *testing.T) {
+	golden(t, "format.github.txt", func(buf *bytes.Buffer) error {
+		return writeGitHub(buf, fixedDiags)
+	})
+}

@@ -1,44 +1,95 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
-	"go/token"
-	"os"
+	"io"
 	"path/filepath"
+	"strings"
 
 	"uvmdiscard/internal/analysis"
 )
 
 // Lint locates the module root at or above start, loads every package in
-// the module, and runs the multichecker's analyzers over them. It is split
-// from main so the test suite can lint the real repository in-process.
+// the module type-checked, and runs the multichecker's analyzers over
+// them. File positions are rewritten relative to the module root so every
+// output format — and in particular the committed JSON baseline — is
+// stable across machines. It is split from main so the test suite can
+// lint the real repository in-process.
 func Lint(start string) ([]analysis.Diagnostic, error) {
-	root, err := moduleRoot(start)
+	root, err := analysis.ModuleRoot(start)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	pkgs, err := analysis.LoadTree(fset, root, nil)
+	pkgs, err := analysis.LoadRepo(start)
 	if err != nil {
 		return nil, err
 	}
-	return analysis.Run(pkgs, analyzers)
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Position.Filename = filepath.ToSlash(rel)
+		}
+	}
+	return diags, nil
 }
 
-// moduleRoot walks up from dir until it finds go.mod.
-func moduleRoot(dir string) (string, error) {
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return "", err
+// jsonDiagnostic is the stable wire form of one finding for -format=json:
+// machine consumers (the CI baseline gate, editor integrations) key on
+// these field names, so they are part of uvmlint's interface.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders the findings as a JSON array (never null: an empty run
+// encodes as []), one object per finding, indented for direct use as a
+// committed baseline file.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	for {
-		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
-			return abs, nil
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeGitHub renders the findings as GitHub Actions workflow commands so
+// CI runs annotate the offending lines in the pull-request diff view.
+func writeGitHub(w io.Writer, diags []analysis.Diagnostic) error {
+	for _, d := range diags {
+		msg := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		// Workflow-command data is %-escaped per the Actions spec; a raw
+		// newline or % would otherwise terminate or corrupt the command.
+		r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n",
+			d.Position.Filename, d.Position.Line, d.Position.Column, r.Replace(msg))
+		if err != nil {
+			return err
 		}
-		parent := filepath.Dir(abs)
-		if parent == abs {
-			return "", fmt.Errorf("no go.mod at or above %s", dir)
-		}
-		abs = parent
 	}
+	return nil
+}
+
+// writeText renders the findings in the canonical file:line:col form.
+func writeText(w io.Writer, diags []analysis.Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,18 +1,28 @@
-// Command uvmlint is the project's multichecker: it runs the custom
-// static-analysis passes (locksafe, simdet, queuestate — see
-// internal/analysis) over every package in the module and exits non-zero
-// if any diagnostic survives suppression.
+// Command uvmlint is the project's multichecker: it type-checks every
+// package in the module and runs the custom static-analysis passes
+// (locksafe, simdet, queuestate, errsink, goroleak, lockorder,
+// discardproto — see internal/analysis) over them, exiting non-zero if
+// any diagnostic survives suppression.
 //
 // Usage:
 //
-//	uvmlint [-list] [dir]
+//	uvmlint [-list] [-format=text|json|github] [dir]
 //	uvmlint -expfmt [file]
 //
 // dir defaults to the current directory; the module root is located by
 // walking up to go.mod, and the whole module is linted regardless of which
 // subdirectory uvmlint starts from (so `go run ./cmd/uvmlint` in the repo
 // root and a `make lint` from anywhere agree). Suppress a finding with
-// `//uvmlint:ignore <analyzer> <reason>` on or directly above the line.
+// `//uvmlint:ignore <analyzers> -- <justification>` on or directly above
+// the line; the justification is mandatory and unused suppressions are
+// themselves findings.
+//
+// -format selects the output encoding: "text" (default) prints the
+// canonical file:line:col lines, "json" emits a machine-readable array of
+// {file,line,column,analyzer,message} objects (the CI baseline gate diffs
+// this against lint.baseline.json), and "github" emits GitHub Actions
+// ::error workflow commands so CI annotates the offending lines in the
+// pull-request diff.
 //
 // -expfmt switches uvmlint into Prometheus exposition-format checking
 // (internal/promexp.Check): it validates a scrape read from the named file
@@ -27,6 +37,10 @@ import (
 	"os"
 
 	"uvmdiscard/internal/analysis"
+	"uvmdiscard/internal/analysis/discardproto"
+	"uvmdiscard/internal/analysis/errsink"
+	"uvmdiscard/internal/analysis/goroleak"
+	"uvmdiscard/internal/analysis/lockorder"
 	"uvmdiscard/internal/analysis/locksafe"
 	"uvmdiscard/internal/analysis/queuestate"
 	"uvmdiscard/internal/analysis/simdet"
@@ -38,13 +52,18 @@ var analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	simdet.Analyzer,
 	queuestate.Analyzer,
+	errsink.Analyzer,
+	goroleak.Analyzer,
+	lockorder.Analyzer,
+	discardproto.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, or github")
 	expfmt := flag.Bool("expfmt", false, "validate a Prometheus text exposition (file arg or stdin) instead of linting Go code")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: uvmlint [-list] [dir]\n       uvmlint -expfmt [file]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: uvmlint [-list] [-format=text|json|github] [dir]\n       uvmlint -expfmt [file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +76,18 @@ func main() {
 	if *expfmt {
 		os.Exit(checkExposition(flag.Args()))
 	}
+	var write func(io.Writer, []analysis.Diagnostic) error
+	switch *format {
+	case "text":
+		write = writeText
+	case "json":
+		write = writeJSON
+	case "github":
+		write = writeGitHub
+	default:
+		fmt.Fprintf(os.Stderr, "uvmlint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
 	start := "."
 	if flag.NArg() > 0 {
 		start = flag.Arg(0)
@@ -66,8 +97,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uvmlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if err := write(os.Stdout, diags); err != nil {
+		fmt.Fprintln(os.Stderr, "uvmlint:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "uvmlint: %d finding(s)\n", len(diags))

@@ -72,6 +72,7 @@ func main() {
 	}
 	// The smoke harness parses this line to discover an ephemeral port.
 	fmt.Printf("uvmsimd listening on %s\n", ln.Addr())
+	//uvmlint:ignore errsink -- stdout may be a pipe where fsync is unsupported; the line above is what matters
 	os.Stdout.Sync()
 
 	hs := &http.Server{Handler: srv.Handler()}

@@ -66,6 +66,7 @@ func run(discardSet map[string]bool) (uint64, *uvmdiscard.AdvisorReport) {
 			Name:    "residuals",
 			Compute: ctx.ComputeForBytes(float64(scratchSiz)),
 			Accesses: []uvmdiscard.Access{
+				//uvmlint:ignore discardproto -- demo: -discard state is the unsound choice this example exists to show the advisor rejecting
 				{Buf: state, Mode: uvmdiscard.Read},
 				{Buf: scratch, Mode: uvmdiscard.Write},
 			},
@@ -76,6 +77,7 @@ func run(discardSet map[string]bool) (uint64, *uvmdiscard.AdvisorReport) {
 			Compute: ctx.ComputeForBytes(float64(stateSize)),
 			Accesses: []uvmdiscard.Access{
 				{Buf: scratch, Mode: uvmdiscard.Read},
+				//uvmlint:ignore discardproto -- demo: -discard state is the unsound choice this example exists to show the advisor rejecting
 				{Buf: state, Mode: uvmdiscard.ReadWrite},
 			},
 		}))

@@ -1,19 +1,32 @@
-// Package analysistest runs an analyzer over packages under a testdata
-// directory and checks its diagnostics against `// want "regexp"`
+// Package analysistest runs an analyzer over type-checked packages under a
+// testdata directory and checks its diagnostics against `// want "regexp"`
 // expectations in the source, mirroring the x/tools package of the same
 // name (see internal/analysis for why this is a local reimplementation).
 //
 // Layout: testdata/src/<pkgpath>/*.go, where <pkgpath> is the package path
 // the analyzer sees — so scoping rules (e.g. "only under internal/") can be
-// exercised by naming the test package accordingly.
+// exercised by naming the test package accordingly. Testdata packages are
+// fully type-checked: they may import the standard library, real module
+// packages ("uvmdiscard/..."), and each other (by their testdata package
+// path), so typed analyzers and cross-package facts behave exactly as they
+// do over the real module. List dependency packages before their importers
+// in pkgPaths so facts are exported before they are needed.
 //
 // A `// want "re1" "re2"` comment at the end of a line expects one
 // diagnostic matching each regexp on that line; lines without a want
-// comment expect no diagnostics.
+// comment expect no diagnostics. Matching is one-to-one and strict:
+//
+//   - every diagnostic must be claimed by exactly one want on its line —
+//     a second diagnostic matching an already-satisfied want is an error,
+//     not a silent double count;
+//   - a diagnostic removed by an //uvmlint:ignore suppression cannot
+//     satisfy a want — expecting a suppressed finding is an error that
+//     names the suppression, so tests cannot pass by accident.
 package analysistest
 
 import (
-	"go/token"
+	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -23,36 +36,67 @@ import (
 )
 
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
-var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-// Run loads each package path from testdata/src, applies the analyzer, and
-// reports unexpected or missing diagnostics through t.
+// quotedRe accepts both double-quoted regexps (backslash escapes allowed)
+// and backtick-quoted regexps (taken verbatim — the convenient form when
+// the expectation itself contains backslashes or quotes).
+var quotedRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads each package path from testdata/src (type-checked against the
+// enclosing module), applies the analyzer, and reports unexpected or
+// missing diagnostics through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	fset := token.NewFileSet()
-	var pkgs []*analysis.Package
-	for _, path := range pkgPaths {
-		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
-		pkg, err := analysis.LoadDir(fset, dir, path)
-		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
-		}
-		if pkg == nil {
-			t.Fatalf("no Go files in %s", dir)
-		}
-		pkgs = append(pkgs, pkg)
+	for _, e := range run(testdata, a, pkgPaths...) {
+		t.Error(e)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+}
+
+// run is Run with errors returned as strings instead of reported, so the
+// harness's own failure modes are testable.
+func run(testdata string, a *analysis.Analyzer, pkgPaths ...string) []string {
+	abs, err := filepath.Abs(testdata)
 	if err != nil {
-		t.Fatal(err)
+		return []string{err.Error()}
+	}
+	root, err := analysis.ModuleRoot(abs)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	// A path with a directory under testdata/src is an overlay package; a
+	// path without one is a real module package, loaded from the module
+	// itself — list those too when the analyzer under test needs their
+	// exported facts (or to assert they are finding-free).
+	extra := map[string]string{}
+	for _, path := range pkgPaths {
+		dir := filepath.Join(abs, "src", filepath.FromSlash(path))
+		if _, err := os.Stat(dir); err == nil {
+			extra[path] = dir
+		}
+	}
+	loader, err := analysis.NewLoader(root, extra)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	pkgs, err := loader.LoadPackages(pkgPaths...)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	kept, suppressed, err := analysis.RunDetailed(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		return []string{err.Error()}
 	}
 
 	type key struct {
 		file string
 		line int
 	}
+	type want struct {
+		re       *regexp.Regexp
+		consumed bool
+	}
 	// Collect expectations from the sources.
-	wants := map[key][]*regexp.Regexp{}
+	wants := map[key][]*want{}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -61,41 +105,79 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 					if m == nil {
 						continue
 					}
-					pos := fset.Position(c.Pos())
+					pos := loader.Fset.Position(c.Pos())
 					k := key{pos.Filename, pos.Line}
 					for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
-						re, err := regexp.Compile(q[1])
-						if err != nil {
-							t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+						expr := q[1]
+						if q[2] != "" {
+							expr = q[2]
 						}
-						wants[k] = append(wants[k], re)
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							return []string{pos.String() + ": bad want regexp " + expr + ": " + err.Error()}
+						}
+						wants[k] = append(wants[k], &want{re: re})
 					}
 				}
 			}
 		}
 	}
 
-	// Match diagnostics against expectations.
-	for _, d := range diags {
+	var errs []string
+	errorf := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	// Match diagnostics one-to-one against expectations.
+	for _, d := range kept {
 		k := key{d.Position.Filename, d.Position.Line}
-		matched := false
-		for i, re := range wants[k] {
-			if re.MatchString(d.Message) {
-				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
-				matched = true
-				break
+		var already *want
+		claimed := false
+		for _, w := range wants[k] {
+			if !w.re.MatchString(d.Message) {
+				continue
+			}
+			if w.consumed {
+				already = w
+				continue
+			}
+			w.consumed = true
+			claimed = true
+			break
+		}
+		switch {
+		case claimed:
+		case already != nil:
+			errorf("%s: diagnostic matches // want %q more than once (each want matches exactly one diagnostic): %s",
+				relToTestdata(testdata, d.Position.Filename), already.re, d)
+		default:
+			errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	// Unconsumed wants: distinguish "suppressed" from "absent".
+	for k, ws := range wants {
+		for _, w := range ws {
+			if w.consumed {
+				continue
+			}
+			bySuppression := false
+			for _, d := range suppressed {
+				if d.Position.Filename == k.file && d.Position.Line == k.line && w.re.MatchString(d.Message) {
+					bySuppression = true
+					break
+				}
+			}
+			if bySuppression {
+				errorf("%s:%d: diagnostic matching %q was removed by an //uvmlint:ignore suppression; a suppressed diagnostic does not satisfy // want",
+					relToTestdata(testdata, k.file), k.line, w.re)
+			} else {
+				errorf("%s:%d: expected diagnostic matching %q, got none",
+					relToTestdata(testdata, k.file), k.line, w.re)
 			}
 		}
-		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
-		}
 	}
-	for k, res := range wants {
-		for _, re := range res {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
-				relToTestdata(testdata, k.file), k.line, re)
-		}
-	}
+	return errs
 }
 
 func relToTestdata(testdata, file string) string {

@@ -1,0 +1,66 @@
+package analysistest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// stub reports "stub finding" n times at every call to a function named
+// trigger — a minimal analyzer for exercising the harness's own matching
+// rules.
+func stub(name string, n int) *analysis.Analyzer {
+	a := &analysis.Analyzer{Name: name, Doc: "test stub"}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "trigger" {
+					for i := 0; i < n; i++ {
+						pass.Reportf(call.Pos(), "stub finding")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// The control: one finding per want, suppressions suppress — no errors.
+func TestHarnessCleanMatch(t *testing.T) {
+	if errs := run("testdata", stub("stubonce", 1), "clean"); len(errs) != 0 {
+		t.Fatalf("clean fixture produced errors: %v", errs)
+	}
+}
+
+// A want expectation satisfied twice is an error: each `// want` matches
+// exactly one diagnostic, so a doubled report cannot hide behind a single
+// expectation.
+func TestHarnessRejectsDoubleMatchedWant(t *testing.T) {
+	errs := run("testdata", stub("stubtwice", 2), "double")
+	if len(errs) != 1 {
+		t.Fatalf("want exactly 1 error, got %d: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0], "more than once") {
+		t.Fatalf("error does not name the double match: %s", errs[0])
+	}
+}
+
+// A diagnostic removed by //uvmlint:ignore must not satisfy a want: the
+// harness has to say the expectation was met only by a suppressed finding.
+func TestHarnessRejectsSuppressedMatch(t *testing.T) {
+	errs := run("testdata", stub("stubonce", 1), "suppressed")
+	if len(errs) != 1 {
+		t.Fatalf("want exactly 1 error, got %d: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0], "suppress") {
+		t.Fatalf("error does not mention the suppression: %s", errs[0])
+	}
+}

@@ -1,0 +1,10 @@
+// Package clean is the control: one finding, one want, one suppression
+// that genuinely suppresses.
+package clean
+
+func trigger() {}
+
+func f() {
+	trigger() // want "stub finding"
+	trigger() //uvmlint:ignore stubonce -- fixture: prove suppression works
+}

@@ -1,0 +1,9 @@
+// Package double provokes the stub analyzer into reporting the same
+// message twice on one line that only expects it once.
+package double
+
+func trigger() {}
+
+func f() {
+	trigger() // want "stub finding"
+}

@@ -1,0 +1,9 @@
+// Package suppressed expects a diagnostic on a line where a suppression
+// removes it — the harness must reject that, not silently pass.
+package suppressed
+
+func trigger() {}
+
+func f() {
+	trigger() //uvmlint:ignore stubonce -- deliberately silenced // want "stub finding"
+}

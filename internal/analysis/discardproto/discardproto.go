@@ -1,0 +1,842 @@
+// Package discardproto defines the static half of the discard protocol
+// checker: a flow-sensitive, per-function analysis that tracks each
+// managed-buffer handle through the states live → discarded / lazily
+// discarded → freed and reports uses that the protocol forbids:
+//
+//   - reading a handle (kernel Read/ReadWrite access, HostRead, Data)
+//     after a full discard, before a rewrite or prefetch — discard
+//     declares the contents dead, so the read returns zeros at best;
+//   - any kernel access to a lazily discarded handle before the mandatory
+//     re-prefetch (§5.2) — the exact hazard the runtime sanitizer's
+//     PanicOnSilentReuse escalates, caught here without running anything;
+//   - any use after Buffer.Free / Driver.FreeManaged, including a second
+//     free.
+//
+// State transitions follow the driver's semantics (see DESIGN.md §13 for
+// the full static-rule → runtime-sanitizer mapping): Discard/DiscardAll
+// over the whole buffer → discarded; the Lazy flavors → lazily discarded;
+// any prefetch → live; a full host rewrite (HostWrite(0, b.Size()),
+// copy(b.Data(), …)) → live; a kernel Write access over the whole buffer →
+// live (eager discard only: for the lazy flavor the write itself is the
+// silent-reuse hazard). Partial discards and partial writes are tracked
+// conservatively as no-ops — the driver ignores sub-block discards (§5.4),
+// and a partially rewritten buffer is neither safely dead nor safely live.
+//
+// The analysis is intraprocedural with interprocedural effects: every
+// analyzed function exports a FnEffects fact giving the end-state of its
+// handle parameters (workloads.Discard carries "discards param 2" to every
+// call site in every workload). A call into unanalyzed code resets its
+// handle arguments to live — unknown code is assumed correct rather than
+// guessed about. Branches merge to the worst state; loop bodies are walked
+// twice (a silent pass to reach the fixed point, then a reporting pass) so
+// a discard at the bottom of a loop is seen by a read at the top.
+//
+// The driver-implementation packages (internal/core, internal/vaspace,
+// internal/gpudev, internal/cuda) are exempt: they implement the states
+// and must manipulate dead data. Test files are exempt: tests deliberately
+// exercise the forbidden sequences.
+package discardproto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// Analyzer is the discardproto pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "discardproto",
+	Doc: "track managed-buffer handles through discard/free states and " +
+		"report reads of dead data, lazy-discard silent reuse, and use after free",
+	Run: run,
+}
+
+// FnEffects is the object fact recording what a function does to its
+// handle parameters: the caller applies each effect to the corresponding
+// argument. A function that was analyzed and found effect-free exports an
+// empty FnEffects — distinguishing "known harmless" from "unknown".
+type FnEffects struct {
+	Params []ParamEffect
+}
+
+// ParamEffect is one parameter's end state.
+type ParamEffect struct {
+	// Index is the parameter position (receiver excluded).
+	Index int
+	// Effect is "discard", "discardLazy", or "free".
+	Effect string
+}
+
+// hstate is a handle's protocol state; higher is worse, and branch merge
+// takes the maximum.
+type hstate int
+
+const (
+	stLive hstate = iota
+	stDiscarded
+	stLazy
+	stFreed
+)
+
+// exempt lists the driver-implementation trees where dead data is the
+// working material, not a bug.
+var exempt = []string{"internal/core", "internal/vaspace", "internal/gpudev", "internal/cuda"}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range exempt {
+		if pass.PkgPath == e || strings.HasPrefix(pass.PkgPath, e+"/") {
+			return nil
+		}
+	}
+
+	// Pass 1 — effects: walk every function silently and export its
+	// FnEffects fact, so pass 2 sees intra-package callees (and later
+	// packages see ours — packages run in dependency order).
+	for _, fd := range funcDecls(pass) {
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		w := newWalker(pass, true)
+		w.block(fd.Body.List)
+		var eff FnEffects
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			if !trackedType(p.Type()) {
+				continue
+			}
+			switch w.get(p) {
+			case stDiscarded, stLazy:
+				// The merged end state cannot distinguish "lazy on every
+				// path" from "lazy on one flavor-dispatch branch"
+				// (workloads.Discard is eager or lazy depending on the
+				// system under test), so fact-carried discards are demoted
+				// to eager: callers are still flagged for reading dead
+				// data, but not for the lazy-only write hazard a different
+				// branch may have paired correctly. Direct DiscardLazy*
+				// calls keep full lazy precision.
+				eff.Params = append(eff.Params, ParamEffect{Index: i, Effect: "discard"})
+			case stFreed:
+				eff.Params = append(eff.Params, ParamEffect{Index: i, Effect: "free"})
+			}
+		}
+		pass.ExportObjectFact(fn, &eff)
+	}
+
+	// Pass 2 — report.
+	for _, fd := range funcDecls(pass) {
+		w := newWalker(pass, false)
+		w.block(fd.Body.List)
+	}
+	return nil
+}
+
+func funcDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// trackedType reports whether t is a handle type the protocol governs:
+// *cuda.Buffer or *vaspace.Alloc.
+func trackedType(t types.Type) bool {
+	return analysis.IsNamed(t, "uvmdiscard/internal/cuda", "Buffer") ||
+		analysis.IsNamed(t, "uvmdiscard/internal/vaspace", "Alloc")
+}
+
+// walker runs the state machine over one function body.
+type walker struct {
+	pass     *analysis.Pass
+	st       map[types.Object]hstate
+	quiet    bool
+	reported map[token.Pos]bool
+	// dataWrite marks b.Data() calls already consumed as the destination
+	// of a copy() — a write, not a read of dead data.
+	dataWrite map[*ast.CallExpr]bool
+	// revived records objects explicitly brought back to live from a
+	// discarded state inside the current branch scope. Control-flow merges
+	// treat a handle revived on one path as revived on the join: a
+	// conditional pairing prefetch is near-always guarded by the same flag
+	// as the conditional discard it pairs with (`if lazy && i > 0 {
+	// prefetch }` … `if lazy { discardLazy }`), a correlation the
+	// flow-insensitive worst-state join cannot see. The static pass errs
+	// quiet here; the runtime sanitizer remains the sound backstop.
+	revived map[types.Object]bool
+}
+
+func newWalker(pass *analysis.Pass, quiet bool) *walker {
+	return &walker{
+		pass:      pass,
+		st:        map[types.Object]hstate{},
+		quiet:     quiet,
+		reported:  map[token.Pos]bool{},
+		dataWrite: map[*ast.CallExpr]bool{},
+		revived:   map[types.Object]bool{},
+	}
+}
+
+func (w *walker) get(obj types.Object) hstate { return w.st[obj] }
+
+func (w *walker) set(obj types.Object, s hstate) {
+	if s == stLive {
+		if old := w.st[obj]; old == stDiscarded || old == stLazy {
+			w.revived[obj] = true
+		}
+		delete(w.st, obj)
+		return
+	}
+	w.st[obj] = s
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	if w.quiet || w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+func (w *walker) snapshot() map[types.Object]hstate {
+	c := make(map[types.Object]hstate, len(w.st))
+	for k, v := range w.st {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeWorst folds other into the current state, object by object, keeping
+// the worse of the two — the conservative join at control-flow merges.
+func (w *walker) mergeWorst(other map[types.Object]hstate) {
+	for k, v := range other {
+		if v > w.st[k] {
+			w.st[k] = v
+		}
+	}
+}
+
+func (w *walker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		entry := w.snapshot()
+		outerRev := w.revived
+		w.revived = map[types.Object]bool{}
+		w.stmt(s.Body)
+		thenExit, thenRev := w.st, w.revived
+		w.st = entry
+		w.revived = map[types.Object]bool{}
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+		elseExit, elseRev := w.snapshot(), w.revived
+		w.revived = outerRev
+		w.mergeWorst(thenExit)
+		// A handle revived on either path takes the better of the two exit
+		// states instead of the worst (see the revived field).
+		for _, rev := range []map[types.Object]bool{thenRev, elseRev} {
+			for k := range rev {
+				best := thenExit[k]
+				if elseExit[k] < best {
+					best = elseExit[k]
+				}
+				w.set(k, best)
+				outerRev[k] = true
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.loopBody(func() {
+			w.stmt(s.Body)
+			if s.Post != nil {
+				w.stmt(s.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.loopBody(func() { w.stmt(s.Body) })
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.branches(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		w.branches(s.Body.List)
+	case *ast.SelectStmt:
+		w.branches(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.block(s.Body)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm)
+		}
+		w.block(s.Body)
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		// Deferred cleanup (defer b.Free()) runs at return, after every
+		// statement below it: applying its effect at the defer site would
+		// flag the whole rest of the function. Skipped entirely.
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			gw := newWalker(w.pass, w.quiet)
+			gw.reported = w.reported
+			gw.block(lit.Body.List)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// branches runs each clause against a copy of the entry state and merges
+// every exit (plus the entry itself — no clause may match) to the worst,
+// except that a handle revived in any clause takes the best exit state
+// across all paths (see the revived field).
+func (w *walker) branches(clauses []ast.Stmt) {
+	entry := w.snapshot()
+	outerRev := w.revived
+	revAny := map[types.Object]bool{}
+	exits := []map[types.Object]hstate{entry}
+	for _, c := range clauses {
+		w.st = copyState(entry)
+		w.revived = map[types.Object]bool{}
+		w.stmt(c)
+		exits = append(exits, w.st)
+		for k := range w.revived {
+			revAny[k] = true
+			outerRev[k] = true
+		}
+	}
+	merged := map[types.Object]hstate{}
+	for _, ex := range exits {
+		for k, v := range ex {
+			if v > merged[k] {
+				merged[k] = v
+			}
+		}
+	}
+	for k := range revAny {
+		best := exits[0][k]
+		for _, ex := range exits[1:] {
+			if ex[k] < best {
+				best = ex[k]
+			}
+		}
+		if best == stLive {
+			delete(merged, k)
+		} else {
+			merged[k] = best
+		}
+	}
+	w.st = merged
+	w.revived = outerRev
+}
+
+// loopBody walks a loop body twice: a silent pass from the entry state to
+// discover what the body does to each handle, then — from the merge of
+// entry and that exit, which is what any iteration after the first sees —
+// a reporting pass. A discard at the bottom of the loop is therefore
+// visible to a read at the top.
+func (w *walker) loopBody(body func()) {
+	entry := w.snapshot()
+	savedQuiet := w.quiet
+	w.quiet = true
+	body()
+	w.quiet = savedQuiet
+	w.mergeWorst(entry)
+	body()
+	w.mergeWorst(entry)
+}
+
+func copyState(m map[types.Object]hstate) map[types.Object]hstate {
+	c := make(map[types.Object]hstate, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// assign transfers state through `x = y` and swaps (`cur, next = next,
+// cur`); any other right-hand side yields a fresh, live handle.
+func (w *walker) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		w.expr(r)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		vals := make([]hstate, len(s.Rhs))
+		for i, r := range s.Rhs {
+			if obj := w.identObj(r); obj != nil && trackedType(obj.Type()) {
+				vals[i] = w.get(obj)
+			}
+		}
+		for i, l := range s.Lhs {
+			if obj := w.lhsObj(l); obj != nil && trackedType(obj.Type()) {
+				w.set(obj, vals[i])
+			}
+		}
+		return
+	}
+	// x, err := f(): fresh handles.
+	for _, l := range s.Lhs {
+		if obj := w.lhsObj(l); obj != nil && trackedType(obj.Type()) {
+			w.set(obj, stLive)
+		}
+	}
+}
+
+func (w *walker) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.pass.TypesInfo.Defs[id]
+}
+
+func (w *walker) lhsObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.TypesInfo.Uses[id]
+}
+
+// expr walks an expression, dispatching every call to the ops table; func
+// literals are independent functions whose captured handles are assumed
+// live at their unknown execution time.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lw := newWalker(w.pass, w.quiet)
+			lw.reported = w.reported
+			lw.block(x.Body.List)
+			return false
+		case *ast.CallExpr:
+			w.handleCall(x)
+			return true
+		}
+		return true
+	})
+}
+
+// handleCall is the ops table: the protocol-relevant Stream, Buffer, and
+// Driver calls, analyzed functions' exported effects, and the
+// reset-to-live default for everything unknown.
+func (w *walker) handleCall(call *ast.CallExpr) {
+	fn := analysis.Callee(w.pass.TypesInfo, call)
+	if fn == nil {
+		w.handleBuiltin(call)
+		return
+	}
+	recv := analysis.ReceiverNamed(fn)
+	if recv != nil {
+		switch {
+		case analysis.ObjPkgPath(recv.Obj()) == "uvmdiscard/internal/cuda" && recv.Obj().Name() == "Stream":
+			w.streamOp(fn.Name(), call)
+			return
+		case analysis.ObjPkgPath(recv.Obj()) == "uvmdiscard/internal/cuda" && recv.Obj().Name() == "Buffer":
+			w.bufferOp(fn.Name(), call)
+			return
+		case analysis.ObjPkgPath(recv.Obj()) == "uvmdiscard/internal/core" && recv.Obj().Name() == "Driver":
+			w.driverOp(fn.Name(), call)
+			return
+		}
+	}
+	// Analyzed function: apply its exported per-parameter effects.
+	var eff FnEffects
+	if w.pass.ImportObjectFact(fn, &eff) {
+		for _, pe := range eff.Params {
+			if pe.Index >= len(call.Args) {
+				continue
+			}
+			obj := w.identObj(call.Args[pe.Index])
+			if obj == nil || !trackedType(obj.Type()) {
+				continue
+			}
+			if w.checkFreed(obj, call.Args[pe.Index].Pos()) {
+				continue
+			}
+			switch pe.Effect {
+			case "discard":
+				w.set(obj, stDiscarded)
+			case "discardLazy":
+				w.set(obj, stLazy)
+			case "free":
+				w.set(obj, stFreed)
+			}
+		}
+		return
+	}
+	// Unknown code: assume it leaves every handle it receives in a valid
+	// live state rather than inventing findings about it.
+	for _, a := range call.Args {
+		if obj := w.identObj(a); obj != nil && trackedType(obj.Type()) {
+			w.set(obj, stLive)
+		}
+	}
+}
+
+// handleBuiltin covers copy(b.Data(), …): a host write through the data
+// slice, which revives the buffer rather than reading it.
+func (w *walker) handleBuiltin(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "copy" || len(call.Args) != 2 {
+		return
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	dfn := analysis.Callee(w.pass.TypesInfo, dst)
+	if dfn == nil || dfn.Name() != "Data" {
+		return
+	}
+	obj := w.receiverObj(dst)
+	if obj == nil {
+		return
+	}
+	w.dataWrite[dst] = true
+	if !w.checkFreed(obj, dst.Pos()) {
+		w.set(obj, stLive)
+	}
+}
+
+// streamOp applies a cuda.Stream method; the handle is the first argument.
+func (w *walker) streamOp(name string, call *ast.CallExpr) {
+	if name == "Launch" {
+		w.launch(call)
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	obj := w.identObj(call.Args[0])
+	if obj == nil || !trackedType(obj.Type()) {
+		return
+	}
+	if w.checkFreed(obj, call.Args[0].Pos()) {
+		return
+	}
+	switch name {
+	case "DiscardAll":
+		w.set(obj, stDiscarded)
+	case "DiscardLazyAll":
+		w.set(obj, stLazy)
+	case "DiscardAsync":
+		if w.fullRange(call.Args[1:], obj) {
+			w.set(obj, stDiscarded)
+		}
+	case "DiscardLazyAsync":
+		if w.fullRange(call.Args[1:], obj) {
+			w.set(obj, stLazy)
+		}
+	case "MemPrefetchAsync", "PrefetchAll", "PrefetchAllTo":
+		w.set(obj, stLive)
+	}
+}
+
+// bufferOp applies a cuda.Buffer method; the handle is the receiver.
+func (w *walker) bufferOp(name string, call *ast.CallExpr) {
+	obj := w.receiverObj(call)
+	if obj == nil {
+		return
+	}
+	switch name {
+	case "Free":
+		if w.get(obj) == stFreed {
+			w.reportf(call.Pos(), "%s is freed twice", obj.Name())
+			return
+		}
+		w.set(obj, stFreed)
+	case "HostWrite":
+		if w.checkFreed(obj, call.Pos()) {
+			return
+		}
+		// A full rewrite revives the buffer (§4.1: a write after discard
+		// is guaranteed to be seen); a partial write leaves it dead.
+		if len(call.Args) == 2 && w.fullRange(call.Args, obj) {
+			w.set(obj, stLive)
+		}
+	case "HostRead":
+		if w.checkFreed(obj, call.Pos()) {
+			return
+		}
+		if s := w.get(obj); s == stDiscarded || s == stLazy {
+			w.reportDeadRead(call.Pos(), obj)
+		}
+	case "Data":
+		if w.dataWrite[call] {
+			return
+		}
+		if w.checkFreed(obj, call.Pos()) {
+			return
+		}
+		if s := w.get(obj); s == stDiscarded || s == stLazy {
+			w.reportDeadRead(call.Pos(), obj)
+		}
+	case "Size", "Name", "Alloc":
+		// Metadata stays valid through discard; not a data read.
+	default:
+		w.checkFreed(obj, call.Pos())
+	}
+}
+
+// driverOp applies a core.Driver method; the handle is the first argument.
+func (w *walker) driverOp(name string, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	obj := w.identObj(call.Args[0])
+	if obj == nil || !trackedType(obj.Type()) {
+		return
+	}
+	if w.checkFreed(obj, call.Args[0].Pos()) {
+		return
+	}
+	switch name {
+	case "Discard":
+		w.set(obj, stDiscarded)
+	case "DiscardLazy":
+		w.set(obj, stLazy)
+	case "FreeManaged":
+		w.set(obj, stFreed)
+	case "PrefetchToGPU", "PrefetchToGPUOn", "PrefetchToCPU":
+		w.set(obj, stLive)
+	}
+}
+
+// launch checks a kernel launch's access trace against each buffer's
+// state, in declaration order: reads of discarded data and any access to a
+// lazily discarded buffer are reported; a whole-buffer Write access
+// revives an eagerly discarded buffer. A launch whose access list is not a
+// literal (built with append, passed through a variable) is opaque: it may
+// rewrite any buffer, so every discarded handle is reset to live rather
+// than guessed about.
+func (w *walker) launch(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		w.resetDiscards()
+		return
+	}
+	k, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		w.resetDiscards()
+		return
+	}
+	for _, el := range k.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Accesses" {
+			continue
+		}
+		accs, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			w.resetDiscards()
+			continue
+		}
+		for _, ael := range accs.Elts {
+			acc, ok := ael.(*ast.CompositeLit)
+			if !ok {
+				w.resetDiscards()
+				continue
+			}
+			w.kernelAccess(acc)
+		}
+	}
+}
+
+// resetDiscards revives every discarded (but not freed) handle — the join
+// for kernel launches whose access set cannot be read off the source.
+func (w *walker) resetDiscards() {
+	for obj, s := range w.st {
+		if s == stDiscarded || s == stLazy {
+			w.set(obj, stLive)
+		}
+	}
+}
+
+func (w *walker) kernelAccess(acc *ast.CompositeLit) {
+	var bufObj types.Object
+	mode := "Read" // the zero value of core.AccessMode
+	partial := false
+	var pos token.Pos
+	for _, el := range acc.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Buf":
+			bufObj = w.identObj(kv.Value)
+			pos = kv.Value.Pos()
+		case "Mode":
+			if c, ok := w.pass.TypesInfo.Uses[identOf(kv.Value)].(*types.Const); ok {
+				mode = c.Name()
+			}
+		case "Offset", "Length":
+			if lit, ok := ast.Unparen(kv.Value).(*ast.BasicLit); !ok || lit.Value != "0" {
+				partial = true
+			}
+		}
+	}
+	if bufObj == nil || !trackedType(bufObj.Type()) {
+		return
+	}
+	switch w.get(bufObj) {
+	case stFreed:
+		w.reportf(pos, "%s is accessed by a kernel after free", bufObj.Name())
+	case stLazy:
+		w.reportf(pos,
+			"%s is accessed by a kernel after DiscardLazy without the mandatory re-prefetch (§5.2): "+
+				"the access faults nowhere, the driver never sees it, and a later reclaim silently loses the data "+
+				"— the runtime sanitizer panics here under PanicOnSilentReuse",
+			bufObj.Name())
+	case stDiscarded:
+		if mode == "Read" || mode == "ReadWrite" {
+			w.reportDeadRead(pos, bufObj)
+		} else if mode == "Write" && !partial {
+			w.set(bufObj, stLive)
+		}
+	}
+}
+
+func (w *walker) reportDeadRead(pos token.Pos, obj types.Object) {
+	w.reportf(pos,
+		"%s is read after being discarded, with no rewrite or prefetch in between: "+
+			"discard declares the contents dead, so the read sees zeros at best",
+		obj.Name())
+}
+
+// checkFreed reports (and returns true) when obj is already freed.
+func (w *walker) checkFreed(obj types.Object, pos token.Pos) bool {
+	if w.get(obj) != stFreed {
+		return false
+	}
+	w.reportf(pos, "%s is used after free", obj.Name())
+	return true
+}
+
+// receiverObj resolves the receiver of a method call when it is a plain
+// identifier (b.Free() → b); anything more complex is untracked.
+func (w *walker) receiverObj(call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := w.identObj(sel.X)
+	if obj == nil || !trackedType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// fullRange reports whether (off, length) arguments statically cover the
+// whole buffer: the literal 0 and a b.Size() call on the same handle.
+func (w *walker) fullRange(args []ast.Expr, obj types.Object) bool {
+	if len(args) != 2 {
+		return false
+	}
+	off, ok := ast.Unparen(args[0]).(*ast.BasicLit)
+	if !ok || off.Value != "0" {
+		return false
+	}
+	sz, ok := ast.Unparen(args[1]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	szFn := analysis.Callee(w.pass.TypesInfo, sz)
+	if szFn == nil || szFn.Name() != "Size" {
+		return false
+	}
+	return w.receiverObj(sz) == obj
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package discardproto_test
+
+import (
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/discardproto"
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+)
+
+func TestDiscardproto(t *testing.T) {
+	// internal/workloads is the real module package: loading it first
+	// exports the FnEffects facts protobad.FactFlow depends on, and
+	// asserts the package itself is finding-free.
+	analysistest.Run(t, "testdata", discardproto.Analyzer,
+		"internal/workloads", "protobad", "protogood")
+}
+
+// TestRuntimeSanitizerAgreement runs protobad.Hazard's exact operation
+// sequence — produce, DiscardLazyAll, consume without re-prefetch — on the
+// real simulator with PanicOnSilentReuse: the runtime sanitizer must catch
+// at execution time what discardproto flags at lint time.
+func TestRuntimeSanitizerAgreement(t *testing.T) {
+	params := core.DefaultParams()
+	params.PanicOnSilentReuse = true
+	ctx, err := cuda.NewContext(core.Config{
+		GPU:    gpudev.Generic(16 * units.BlockSize),
+		Params: &params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.MallocManaged("hazard", 2*units.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ctx.Stream("s")
+	if err := s.Launch(cuda.Kernel{
+		Name:     "produce",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Write}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DiscardLazyAll(b); err != nil {
+		t.Fatal(err)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("the statically flagged sequence did not panic under PanicOnSilentReuse")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "protocol violation") {
+			t.Fatalf("panic %v is not the silent-reuse protocol violation", r)
+		}
+	}()
+	if err := s.Launch(cuda.Kernel{
+		Name:     "consume",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Read}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeSanitizerAllowsPairing is the control: protogood's
+// prefetch-pairing sequence must run clean under the same sanitizer.
+func TestRuntimeSanitizerAllowsPairing(t *testing.T) {
+	params := core.DefaultParams()
+	params.PanicOnSilentReuse = true
+	ctx, err := cuda.NewContext(core.Config{
+		GPU:    gpudev.Generic(16 * units.BlockSize),
+		Params: &params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.MallocManaged("paired", 2*units.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ctx.Stream("s")
+	if err := s.Launch(cuda.Kernel{
+		Name:     "produce",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Write}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DiscardLazyAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrefetchAll(b, cuda.ToGPU); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(cuda.Kernel{
+		Name:     "consume",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Read}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx.DeviceSynchronize()
+}

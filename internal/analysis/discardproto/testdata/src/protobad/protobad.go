@@ -1,0 +1,83 @@
+// Package protobad seeds every class of discard-protocol violation the
+// static checker must flag — including the §5.2 silent-reuse sequence the
+// runtime sanitizer catches under PanicOnSilentReuse (the agreement test
+// in discardproto_test.go runs this exact sequence against the simulator).
+package protobad
+
+import (
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/workloads"
+)
+
+// Hazard is the seeded silent-reuse program: produce, lazily discard,
+// consume without the mandatory re-prefetch.
+func Hazard(s *cuda.Stream, b *cuda.Buffer) error {
+	err := s.Launch(cuda.Kernel{
+		Name:     "produce",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Write}},
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.DiscardLazyAll(b); err != nil {
+		return err
+	}
+	return s.Launch(cuda.Kernel{
+		Name:     "consume",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Read}}, // want `b is accessed by a kernel after DiscardLazy without the mandatory re-prefetch`
+	})
+}
+
+// ReadDead reads through the host API after an eager discard.
+func ReadDead(s *cuda.Stream, b *cuda.Buffer) error {
+	if err := s.DiscardAll(b); err != nil {
+		return err
+	}
+	if err := b.HostRead(0, b.Size()); err != nil { // want `b is read after being discarded`
+		return err
+	}
+	_ = b.Data()[0] // want `b is read after being discarded`
+	return nil
+}
+
+// FactFlow discards through workloads.Discard — the effect arrives at
+// this call site as an exported FnEffects fact, not a built-in rule.
+func FactFlow(sys workloads.System, s *cuda.Stream, b *cuda.Buffer) error {
+	if err := workloads.Discard(sys, s, b); err != nil {
+		return err
+	}
+	return s.Launch(cuda.Kernel{
+		Name:     "reuse",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Read}}, // want `b is read after being discarded`
+	})
+}
+
+// LoopCarried discards at the bottom of the loop; the read at the top is
+// dead from the second iteration on.
+func LoopCarried(s *cuda.Stream, b *cuda.Buffer) error {
+	for i := 0; i < 4; i++ {
+		err := s.Launch(cuda.Kernel{
+			Name:     "sweep",
+			Accesses: []cuda.Access{{Buf: b, Mode: core.Read}}, // want `b is read after being discarded`
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.DiscardAll(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Freed uses the buffer after Free, then frees it again.
+func Freed(b *cuda.Buffer) error {
+	if err := b.Free(); err != nil {
+		return err
+	}
+	if err := b.HostWrite(0, b.Size()); err != nil { // want `b is used after free`
+		return err
+	}
+	return b.Free() // want `b is freed twice`
+}

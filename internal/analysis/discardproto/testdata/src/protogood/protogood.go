@@ -1,0 +1,103 @@
+// Package protogood exercises every legal post-discard pattern the
+// workloads rely on: none of these may produce a finding.
+package protogood
+
+import (
+	"uvmdiscard/internal/core"
+	"uvmdiscard/internal/cuda"
+	"uvmdiscard/internal/units"
+)
+
+// PrefetchPairing is the documented UvmDiscardLazy protocol: discard,
+// re-prefetch, reuse.
+func PrefetchPairing(s *cuda.Stream, b *cuda.Buffer) error {
+	if err := s.DiscardLazyAll(b); err != nil {
+		return err
+	}
+	if err := s.PrefetchAll(b, cuda.ToGPU); err != nil {
+		return err
+	}
+	return s.Launch(cuda.Kernel{
+		Name:     "reuse",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Read}},
+	})
+}
+
+// KernelRewrite revives an eagerly discarded buffer with a whole-buffer
+// Write access before reading it.
+func KernelRewrite(s *cuda.Stream, b *cuda.Buffer) error {
+	if err := s.DiscardAll(b); err != nil {
+		return err
+	}
+	err := s.Launch(cuda.Kernel{
+		Name:     "refill",
+		Accesses: []cuda.Access{{Buf: b, Mode: core.Write}},
+	})
+	if err != nil {
+		return err
+	}
+	return b.HostRead(0, b.Size())
+}
+
+// HostRewrite revives through the host API: a full HostWrite, or a copy
+// into the data slice.
+func HostRewrite(s *cuda.Stream, c *cuda.Buffer, src []byte) error {
+	if err := s.DiscardAll(c); err != nil {
+		return err
+	}
+	if err := c.HostWrite(0, c.Size()); err != nil {
+		return err
+	}
+	if err := c.HostRead(0, c.Size()); err != nil {
+		return err
+	}
+	if err := s.DiscardAll(c); err != nil {
+		return err
+	}
+	copy(c.Data(), src)
+	return c.HostRead(0, c.Size())
+}
+
+// PartialDiscard mirrors FIR: only the consumed window is discarded, so
+// the handle as a whole stays live and later windows may be read.
+func PartialDiscard(s *cuda.Stream, b *cuda.Buffer, off, win units.Size) error {
+	if err := s.DiscardAsync(b, off, win); err != nil {
+		return err
+	}
+	return s.Launch(cuda.Kernel{
+		Name:     "nextwindow",
+		Accesses: []cuda.Access{{Buf: b, Offset: off + win, Length: win, Mode: core.Read}},
+	})
+}
+
+// Swap mirrors the BFS frontier rotation: discard the consumed frontier,
+// swap, and rely on the full Write access to revive the reused buffer.
+func Swap(s *cuda.Stream, cur, next *cuda.Buffer) error {
+	for i := 0; i < 4; i++ {
+		err := s.Launch(cuda.Kernel{
+			Name: "level",
+			Accesses: []cuda.Access{
+				{Buf: cur, Mode: core.Read},
+				{Buf: next, Mode: core.Write},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.DiscardAll(cur); err != nil {
+			return err
+		}
+		cur, next = next, cur
+	}
+	return nil
+}
+
+// Suppressed documents a deliberate dead read with the required
+// justification.
+func Suppressed(s *cuda.Stream, b *cuda.Buffer) error {
+	if err := s.DiscardAll(b); err != nil {
+		return err
+	}
+	//uvmlint:ignore discardproto -- fixture: reading zeros is this test's point
+	return b.HostRead(0, b.Size())
+}

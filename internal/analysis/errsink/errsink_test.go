@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "testdata", errsink.Analyzer, "app")
+}

@@ -1,0 +1,51 @@
+// Package app seeds errsink violations against the real crash-safety
+// surface: the experiments journal, fsync, and the runctl interrupt check.
+package app
+
+import (
+	"os"
+
+	"uvmdiscard/internal/experiments"
+	"uvmdiscard/internal/runctl"
+	"uvmdiscard/internal/sim"
+)
+
+// Drop discards every crash-safety result in a different way.
+func Drop(j *experiments.Journal, f *os.File, c *runctl.Control, r experiments.RunResult) {
+	j.Record(r)      // want `result of \(experiments.Journal\).Record discarded`
+	j.Close()        // want `result of \(experiments.Journal\).Close discarded`
+	f.Sync()         // want `result of \(os.File\).Sync discarded`
+	_ = f.Sync()     // want `result of \(os.File\).Sync assigned to _`
+	c.Check("op", 0) // want `result of \(runctl.Control\).Check discarded`
+	defer j.Close()  // want `result of \(experiments.Journal\).Close discarded by defer`
+}
+
+// Handle consumes every result; no findings.
+func Handle(j *experiments.Journal, f *os.File, c *runctl.Control, r experiments.RunResult) error {
+	if err := j.Record(r); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if i := c.Check("op", sim.Time(0)); i != nil {
+		runctl.Abort(i)
+	}
+	return j.Close()
+}
+
+// Suppressed documents a deliberate discard with the required
+// justification.
+func Suppressed(f *os.File) {
+	//uvmlint:ignore errsink -- fixture: read-only file, sync result is advisory
+	f.Sync()
+}
+
+// Unrelated types with the same method names stay quiet.
+type fakeJournal struct{}
+
+func (fakeJournal) Close() error { return nil }
+
+func Quiet(j fakeJournal) {
+	j.Close()
+}

@@ -1,0 +1,178 @@
+// Package goroleak defines an analyzer enforcing that every goroutine in
+// the control-plane packages (internal/service, internal/runctl,
+// cmd/uvmsimd) is tied to some shutdown mechanism. A goroutine is "tied"
+// when its body (or an argument at the spawn site) involves a
+// context.Context, a sync.WaitGroup, or a channel operation — the three
+// ways this codebase drains work: cancellation, Wait-based draining, and
+// close-signalled exit. An untied goroutine outlives Shutdown silently,
+// which is exactly the leak class the smoke harness's drain-window test
+// exists to catch at runtime; this pass catches it at lint time.
+//
+// Resolution is intentionally shallow: a func literal is inspected
+// directly, a named function or method spawned from the same package is
+// inspected through its declaration, and anything else (cross-package
+// callees, function values) must be tied at the spawn site — by passing a
+// context, WaitGroup, or channel as an argument — or carry an
+// `//uvmlint:ignore goroleak -- <justification>`.
+//
+// Test files are exempt: test goroutines die with the test process.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "require goroutines in control-plane packages to be tied to a " +
+		"context.Context, sync.WaitGroup, or channel so shutdown can drain them",
+	Run: run,
+}
+
+// scope lists the package trees whose goroutines must be drainable: the
+// uvmsimd daemon and the watchdog layer. Simulation code itself is
+// synchronous by design (see simdet), so goroutines elsewhere are rare and
+// not this pass's concern.
+var scope = []string{"internal/service", "internal/runctl", "cmd/uvmsimd"}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.PkgPath) {
+		return nil
+	}
+	decls := declsByFunc(pass)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				checkGo(pass, decls, gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declsByFunc maps every function and method declared in the package to
+// its declaration, so `go s.worker()` can be checked through worker's body.
+func declsByFunc(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+func checkGo(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) {
+	call := gs.Call
+	// An argument of a tying type at the spawn site is sufficient: the
+	// spawned function received the means to observe shutdown, whether or
+	// not we can see its body.
+	for _, arg := range call.Args {
+		if t := pass.TypesInfo.Types[arg].Type; t != nil && tiesType(t) {
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if !tiedBody(pass, lit.Body) {
+			pass.Reportf(gs.Pos(),
+				"goroutine is not tied to a context.Context, sync.WaitGroup, or channel: shutdown cannot drain it")
+		}
+		return
+	}
+	if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+		if fd := decls[fn]; fd != nil && fd.Body != nil {
+			if !tiedBody(pass, fd.Body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine runs %s, which is not tied to a context.Context, sync.WaitGroup, or channel: shutdown cannot drain it",
+					fn.Name())
+			}
+			return
+		}
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine body cannot be resolved within %s: pass a context.Context, sync.WaitGroup, or channel at the spawn site so shutdown can drain it",
+		pass.PkgName)
+}
+
+// tiedBody reports whether body contains any shutdown tie: a reference to
+// a context.Context or sync.WaitGroup value (including struct fields like
+// s.workers), or a channel operation (send, receive, close, select, or
+// range over a channel).
+func tiedBody(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if obj != nil && obj.Type() != nil && tiesType(obj.Type()) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// tiesType reports whether t (after pointer deref) is context.Context,
+// sync.WaitGroup, or a channel.
+func tiesType(t types.Type) bool {
+	if analysis.IsNamed(t, "context", "Context") || analysis.IsNamed(t, "sync", "WaitGroup") {
+		return true
+	}
+	u := types.Unalias(t)
+	if p, ok := u.(*types.Pointer); ok {
+		u = types.Unalias(p.Elem())
+	}
+	_, ok := u.Underlying().(*types.Chan)
+	return ok
+}
+
+// inScope reports whether pkgPath is one of the control-plane trees.
+func inScope(pkgPath string) bool {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}

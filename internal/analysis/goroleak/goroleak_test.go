@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "internal/service/leaktest", "app")
+}

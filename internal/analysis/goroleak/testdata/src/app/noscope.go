@@ -1,0 +1,11 @@
+// Package app is outside the goroleak scope (not under internal/service,
+// internal/runctl, or cmd/uvmsimd): even an obviously untied goroutine is
+// not this pass's business here.
+package app
+
+func Leak() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,64 @@
+// Package leaktest seeds goroleak violations: goroutines with and without
+// a tie to context, WaitGroup, or channels.
+package leaktest
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// spin is an untied loop; spawning it leaks.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// consume drains a channel; spawning it is fine.
+func consume(c chan int) {
+	for range c {
+		work()
+	}
+}
+
+type pump struct {
+	q chan int
+}
+
+// run ranges over the pump's channel, so `go p.run()` is tied.
+func (p *pump) run() {
+	for range p.q {
+		work()
+	}
+}
+
+func Spawn(ctx context.Context, wg *sync.WaitGroup, c chan int, fn func(context.Context)) {
+	go func() { work() }() // want `goroutine is not tied to a context.Context, sync.WaitGroup, or channel`
+	go spin()              // want `goroutine runs spin, which is not tied`
+
+	go func() { <-ctx.Done() }()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	go func() { c <- 1 }()
+	go func() { close(c) }()
+	go consume(c)
+
+	p := &pump{q: c}
+	go p.run()
+
+	// The callee is a function value — unresolvable — but the spawn site
+	// hands it the context, which is tie enough.
+	go fn(ctx)
+
+	// Same function value without the context: nothing proves it drains.
+	var leak func()
+	leak = work
+	go leak() // want `goroutine body cannot be resolved within leaktest`
+
+	//uvmlint:ignore goroleak -- fixture: fire-and-forget by design, documented here
+	go work()
+}

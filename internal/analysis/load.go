@@ -1,24 +1,24 @@
 package analysis
 
 import (
-	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
-	"path/filepath"
-	"sort"
+	"go/types"
 	"strings"
 )
 
-// Package is the parsed syntax of one directory's Go files. Files from the
-// in-package test package (package foo + package foo_test in the same
-// directory) are grouped into one Package: the analyzers here are syntactic
-// and scope by directory, not by compilation unit.
+// Package is one directory's worth of parsed, type-checked Go source: the
+// unit analyzers run over. All files in the directory — implementation,
+// in-package tests, and external (package foo_test) tests — appear in
+// Files so comment-driven machinery (suppressions, `// want`) sees
+// everything, while type checking happens in the two real compilation
+// units and is merged into one Info.
 type Package struct {
 	// Name is the non-test package clause name.
 	Name string
-	// Path is the module-relative import path ("" for the module root).
+	// Path is the module-relative import path ("" for the module root);
+	// analyzers use it for scoping rules. In analysistest runs it is the
+	// path under testdata/src.
 	Path string
 	// Dir is the absolute directory.
 	Dir string
@@ -26,81 +26,19 @@ type Package struct {
 	Fset *token.FileSet
 	// Files are the parsed files, comments included, sorted by filename.
 	Files []*ast.File
-}
+	// TypesPkg is the type-checked primary unit (non-test files plus
+	// in-package tests). May be non-nil even when TypeErrors is not
+	// empty: go/types recovers what it can.
+	TypesPkg *types.Package
+	// Info holds the merged type information for every file in Files.
+	Info *types.Info
+	// TypeErrors collects parse and type-check failures for this
+	// directory; the driver reports them as diagnostics.
+	TypeErrors []error
 
-// LoadDir parses every .go file in dir (non-recursively) into one Package
-// with the given module-relative path. Returns nil (no error) if the
-// directory contains no Go files.
-func LoadDir(fset *token.FileSet, dir, path string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		names = append(names, e.Name())
-	}
-	if len(names) == 0 {
-		return nil, nil
-	}
-	sort.Strings(names)
-	pkg := &Package{Path: path, Dir: dir, Fset: fset}
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: parse %s: %w", filepath.Join(dir, name), err)
-		}
-		if pkg.Name == "" && !strings.HasSuffix(f.Name.Name, "_test") {
-			pkg.Name = f.Name.Name
-		}
-		pkg.Files = append(pkg.Files, f)
-	}
-	if pkg.Name == "" { // directory holds only an external test package
-		pkg.Name = pkg.Files[0].Name.Name
-	}
-	return pkg, nil
-}
-
-// LoadTree walks root recursively and loads every package under it,
-// skipping testdata, hidden directories, and any directory for which skip
-// returns true. Paths are reported relative to root.
-func LoadTree(fset *token.FileSet, root string, skip func(rel string) bool) ([]*Package, error) {
-	var pkgs []*Package
-	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		rel, err := filepath.Rel(root, p)
-		if err != nil {
-			return err
-		}
-		base := filepath.Base(p)
-		if rel != "." && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
-			return filepath.SkipDir
-		}
-		if skip != nil && skip(rel) {
-			return filepath.SkipDir
-		}
-		path := filepath.ToSlash(rel)
-		if path == "." {
-			path = ""
-		}
-		pkg, err := LoadDir(fset, p, path)
-		if err != nil {
-			return err
-		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
-		return nil
-	})
-	return pkgs, err
+	primary  []*ast.File // the primary compilation unit
+	xtest    []*ast.File // the external test unit (package foo_test)
+	xtestPkg *types.Package
 }
 
 // ImportName returns the local name under which file f imports the package

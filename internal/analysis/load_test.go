@@ -1,0 +1,161 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// loadBadmod loads the pathological fixture module under testdata/badmod.
+func loadBadmod(t *testing.T) []*analysis.Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return pkgs
+}
+
+func byPath(pkgs []*analysis.Package, path string) *analysis.Package {
+	for _, p := range pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// A package that fails to type-check must surface its errors on the
+// Package — and must not prevent sibling packages from loading clean.
+func TestLoadReportsTypeErrorsWithoutAborting(t *testing.T) {
+	pkgs := loadBadmod(t)
+
+	broken := byPath(pkgs, "broken")
+	if broken == nil {
+		t.Fatal("package broken did not load at all")
+	}
+	if len(broken.TypeErrors) == 0 {
+		t.Fatal("package broken loaded with no TypeErrors")
+	}
+	found := false
+	for _, e := range broken.TypeErrors {
+		if strings.Contains(e.Error(), "undefinedIdentifier") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TypeErrors do not mention the undefined identifier: %v", broken.TypeErrors)
+	}
+	if broken.TypesPkg == nil || broken.Info == nil {
+		t.Error("broken package should still carry partial type information")
+	}
+
+	ok := byPath(pkgs, "ok")
+	if ok == nil {
+		t.Fatal("sibling package ok did not load")
+	}
+	if len(ok.TypeErrors) != 0 {
+		t.Errorf("package ok has unexpected TypeErrors: %v", ok.TypeErrors)
+	}
+}
+
+// Run must convert loader-collected type errors into typecheck
+// diagnostics rather than hiding them.
+func TestRunSurfacesTypecheckDiagnostics(t *testing.T) {
+	pkgs := loadBadmod(t)
+	diags, err := analysis.Run(pkgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == analysis.TypecheckName && strings.Contains(d.Message, "undefinedIdentifier") {
+			found = true
+			if !strings.HasSuffix(d.Position.Filename, "broken.go") {
+				t.Errorf("typecheck diagnostic at %s, want broken.go", d.Position.Filename)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no typecheck diagnostic for the broken package in %v", diags)
+	}
+}
+
+// Directories named testdata hold fixture code, not module code: they must
+// be invisible to the loader.
+func TestLoadSkipsTestdataDirectories(t *testing.T) {
+	pkgs := loadBadmod(t)
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("loader descended into %s", p.Path)
+		}
+	}
+}
+
+// Files excluded by build constraints — //go:build lines and GOOS/GOARCH
+// filename suffixes — must not be parsed into the package: both excluded
+// files here reference undefined identifiers, so their absence from
+// TypeErrors proves they were filtered, not just tolerated.
+func TestLoadAppliesBuildConstraints(t *testing.T) {
+	pkgs := loadBadmod(t)
+	tagged := byPath(pkgs, "tagged")
+	if tagged == nil {
+		t.Fatal("package tagged did not load")
+	}
+	if len(tagged.TypeErrors) != 0 {
+		t.Fatalf("build-constrained files leaked into the package: %v", tagged.TypeErrors)
+	}
+	if n := len(tagged.Files); n != 1 {
+		t.Fatalf("package tagged parsed %d files, want 1 (tagged.go only)", n)
+	}
+	if obj := tagged.TypesPkg.Scope().Lookup("Kept"); obj == nil {
+		t.Error("tagged.Kept missing from the type-checked package")
+	}
+	if obj := tagged.TypesPkg.Scope().Lookup("Skipped"); obj != nil {
+		t.Error("tagged.Skipped from a //go:build ignore file was type-checked")
+	}
+}
+
+// An external test package (package foo_test) in the same directory must
+// type-check as its own unit, with its type info merged into the
+// directory's Package.
+func TestLoadMergesExternalTestUnit(t *testing.T) {
+	pkgs := loadBadmod(t)
+	x := byPath(pkgs, "xtest")
+	if x == nil {
+		t.Fatal("package xtest did not load")
+	}
+	if len(x.TypeErrors) != 0 {
+		t.Fatalf("xtest TypeErrors: %v", x.TypeErrors)
+	}
+	// The merged Info must cover identifiers from the _test.go file: find
+	// the use of Double inside TestDouble.
+	found := false
+	for _, f := range x.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != "Double" {
+				return true
+			}
+			if fn, ok := x.Info.Uses[id].(*types.Func); ok && fn.Name() == "Double" {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Error("merged Info has no resolved use of xtest.Double from the external test file")
+	}
+}

@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the packages of one Go module using only
+// the standard library: module-internal imports are resolved by walking the
+// repo's own source tree, and everything else (the stdlib) is type-checked
+// from GOROOT source via go/importer's "source" compiler. No x/tools, no
+// export data, no `go list` subprocess.
+//
+// The loader groups each directory into one Package carrying every parsed
+// file (including test files, for suppression and `// want` scanning) and a
+// merged types.Info covering two type-checking units: the primary unit
+// (non-test files plus in-package _test.go files) and, when present, the
+// external test unit (package foo_test). Analyzers therefore see typed
+// syntax for test code too.
+//
+// Type-check failures are collected per package in Package.TypeErrors
+// rather than aborting the load: a broken package still yields its syntax
+// and whatever partial type information go/types could recover, and the
+// driver turns the errors into diagnostics instead of panicking.
+type Loader struct {
+	// Fset is the file set shared by every parsed file and the stdlib
+	// source importer.
+	Fset *token.FileSet
+
+	root    string              // module root (dir containing go.mod)
+	modpath string              // module path from go.mod (e.g. "uvmdiscard")
+	extra   map[string]string   // extra pkg path -> dir (analysistest overlays)
+	std     types.Importer      // srcimporter over GOROOT
+	pkgs    map[string]*Package // loaded packages by module-relative path
+	loading map[string]bool     // cycle detection during import resolution
+	order   []*Package          // load completion order (dependencies first)
+}
+
+// NewLoader returns a Loader rooted at the module directory containing
+// go.mod. extra maps additional package paths (as seen by analyzers, e.g.
+// analysistest's "internal/badclock") to directories outside the normal
+// tree; extra packages may import real module packages.
+func NewLoader(root string, extra map[string]string) (*Loader, error) {
+	modpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The stdlib source importer honors go/build's default context. Cgo
+	// packages (net, os/user, ...) cannot be type-checked from source
+	// without running the cgo tool, so force the pure-Go variants; the
+	// module itself is cgo-free.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modpath: modpath,
+		extra:   extra,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// LoadModule loads and type-checks every package under the loader's module
+// root (skipping testdata, hidden, and underscore directories) plus every
+// extra package, returning them in dependency order (imports before
+// importers). Per-package type errors are recorded, not returned: the only
+// errors surfaced here are structural ones (unreadable tree, import
+// cycles, unparseable go.mod).
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(p)
+		if rel != "." && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		path := filepath.ToSlash(rel)
+		if path == "." {
+			path = ""
+		}
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p := range l.extra {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := l.Load(p); err != nil {
+			return nil, err
+		}
+	}
+	// Primary units are all checked; now check external test units, which
+	// may import any primary package (including their own).
+	for _, pkg := range l.order {
+		if err := l.checkXTest(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return l.order, nil
+}
+
+// LoadPackages loads just the given package paths (plus, transitively,
+// anything they import), type-checks their external test units, and
+// returns the requested packages in the given order. analysistest uses it
+// to load overlay packages without touching the rest of the module.
+func (l *Loader) LoadPackages(paths ...string) ([]*Package, error) {
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in package %q", p)
+		}
+		out = append(out, pkg)
+	}
+	for _, pkg := range out {
+		if err := l.checkXTest(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Load loads (and type-checks the primary unit of) the package at the
+// given module-relative path, resolving its module imports recursively.
+// Directories with no buildable Go files yield a nil Package, nil error.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", l.importPath(path))
+	}
+	dir := l.extra[path]
+	if dir == "" {
+		dir = filepath.Join(l.root, filepath.FromSlash(path))
+	}
+	pkg, err := l.parseDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	// Resolve module imports of the primary unit first so the importer
+	// can hand back completed packages.
+	for _, f := range pkg.primary {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if rel, ok := l.moduleRel(p); ok {
+				if _, err := l.Load(rel); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := newInfo()
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(l.importPath(path), l.Fset, pkg.primary, info)
+	pkg.TypesPkg = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
+	return pkg, nil
+}
+
+// checkXTest type-checks pkg's external test unit (package foo_test), if
+// any, merging its type information into pkg.Info so analyzers see one
+// coherent view of the directory.
+func (l *Loader) checkXTest(pkg *Package) error {
+	if len(pkg.xtest) == 0 {
+		return nil
+	}
+	for _, f := range pkg.xtest {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if rel, ok := l.moduleRel(p); ok {
+				if _, err := l.Load(rel); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	xpkg, _ := conf.Check(l.importPath(pkg.Path)+"_test", l.Fset, pkg.xtest, info)
+	pkg.xtestPkg = xpkg
+	mergeInfo(pkg.Info, info)
+	return nil
+}
+
+// importPath maps a module-relative path to the import path the type
+// checker reports (module path for the root, joined otherwise). Extra
+// (overlay) packages keep their bare path so analyzers' scoping rules see
+// the same PkgPath in tests and real runs.
+func (l *Loader) importPath(path string) string {
+	if l.extra[path] != "" {
+		return path
+	}
+	if path == "" {
+		return l.modpath
+	}
+	return l.modpath + "/" + path
+}
+
+// moduleRel reports whether imp names a package inside this module (or an
+// overlay package), returning its module-relative path.
+func (l *Loader) moduleRel(imp string) (string, bool) {
+	if imp == l.modpath {
+		return "", true
+	}
+	if rel, ok := strings.CutPrefix(imp, l.modpath+"/"); ok {
+		return rel, true
+	}
+	if _, ok := l.extra[imp]; ok {
+		return imp, true
+	}
+	return "", false
+}
+
+// loaderImporter adapts the Loader to types.Importer: module imports come
+// from the walked source tree, everything else from the stdlib source
+// importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if rel, ok := l.moduleRel(path); ok {
+		pkg, err := l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.TypesPkg == nil {
+			return nil, fmt.Errorf("analysis: no package at %q", path)
+		}
+		return pkg.TypesPkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses every buildable .go file in dir into a Package, applying
+// the default build context's file matching (GOOS/GOARCH suffixes and
+// //go:build constraints, cgo off). Returns nil if no Go files survive.
+func (l *Loader) parseDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// MatchFile applies the build-constraint rules (filename suffixes
+		// and //go:build lines) a real build would; files excluded by
+		// them (e.g. //go:build ignore) are invisible to analysis.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// A syntactically broken file is a type error for the
+			// package, not a fatal load error.
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			pkg.xtest = append(pkg.xtest, f)
+		} else {
+			pkg.primary = append(pkg.primary, f)
+			if pkg.Name == "" {
+				pkg.Name = f.Name.Name
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		// Every file failed to parse: still a Package, so the errors
+		// surface as diagnostics.
+		pkg.Name = filepath.Base(dir)
+		return pkg, nil
+	}
+	if pkg.Name == "" { // directory holds only an external test package
+		pkg.Name = strings.TrimSuffix(pkg.Files[0].Name.Name, "_test")
+		pkg.primary, pkg.xtest = pkg.xtest, nil
+	}
+	return pkg, nil
+}
+
+// newInfo allocates a types.Info with every map analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// mergeInfo folds src's maps into dst. The two units share no syntax
+// nodes, so the merge is a disjoint union.
+func mergeInfo(dst, src *types.Info) {
+	for k, v := range src.Types {
+		dst.Types[k] = v
+	}
+	for k, v := range src.Defs {
+		dst.Defs[k] = v
+	}
+	for k, v := range src.Uses {
+		dst.Uses[k] = v
+	}
+	for k, v := range src.Selections {
+		dst.Selections[k] = v
+	}
+	for k, v := range src.Implicits {
+		dst.Implicits[k] = v
+	}
+	for k, v := range src.Scopes {
+		dst.Scopes[k] = v
+	}
+}
+
+// LoadRepo is the driver entry point: locate the module root at or above
+// start and load the whole module typed.
+func LoadRepo(start string) ([]*Package, error) {
+	root, err := ModuleRoot(start)
+	if err != nil {
+		return nil, err
+	}
+	l, err := NewLoader(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadModule()
+}
+
+// ModuleRoot walks up from dir until it finds go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,590 @@
+// Package lockorder defines a module-wide analyzer that builds the mutex
+// acquisition-order graph and reports cycles. An edge A → B means "some
+// function acquires B while holding A"; a cycle means two executions can
+// acquire the same pair of locks in opposite orders — the classic ABBA
+// deadlock, which no single-package review catches when the two halves of
+// the cycle live in different packages (say, internal/service holding its
+// own lock while folding a run into a metrics.Collector, and a metrics
+// callback reaching back into the service).
+//
+// Locks are identified by declaration site, not instance: the label for
+// `s.mu.Lock()` is `service.Server.mu`. This is coarser than instance
+// tracking but it is the granularity ordering disciplines are written in,
+// and it lets edges from different packages join into one graph.
+//
+// Per function, a flow-ordered walk tracks the held set: Lock/RLock push a
+// label, Unlock/RUnlock pop it, a deferred Unlock keeps the label held to
+// the end of the function, and branch bodies get a copy of the held set so
+// an early-return Unlock does not leak into the fallthrough path. Calls
+// made while holding locks contribute edges to every lock the callee may
+// transitively acquire — computed by an intra-package fixpoint and carried
+// across package boundaries as exported FnLocks facts (packages are
+// analyzed in dependency order, so callee facts exist before callers need
+// them). A `go` statement starts with an empty held set: the spawned
+// goroutine does not inherit the spawner's locks.
+//
+// The Finish hook unions every package's edges and reports each cycle
+// once, including the self-edge case (acquiring a lock's label while
+// already holding it — a real deadlock when both acquisitions can hit the
+// same instance, and an ordering hazard between two instances otherwise).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"uvmdiscard/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "build the module-wide mutex acquisition graph and report ordering " +
+		"cycles (ABBA deadlocks), including across packages",
+	Run:    run,
+	Finish: finish,
+}
+
+// FnLocks is the object fact exported for every function that may acquire
+// locks, directly or through its callees: the set of lock labels.
+type FnLocks struct {
+	Acquires []string
+}
+
+// Edge records "To was acquired at Pos while From was held".
+type Edge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// PkgLocks is the package fact carrying the acquisition edges observed in
+// one package; Finish unions them module-wide.
+type PkgLocks struct {
+	Edges []Edge
+}
+
+// heldLock is one entry of the walker's held-set.
+type heldLock struct {
+	label string
+}
+
+// callRec is a static call made while holding locks.
+type callRec struct {
+	fn   *types.Func
+	held []string
+	pos  token.Pos
+}
+
+// fnSummary is what one walk unit produced: a declared function, or the
+// body of a go-spawned literal (fn is nil there — its locks are real for
+// edge purposes but must not be attributed to the spawner, which never
+// holds them).
+type fnSummary struct {
+	fn     *types.Func
+	direct map[string]bool
+	calls  []callRec
+}
+
+func run(pass *analysis.Pass) error {
+	var edges []Edge
+	st := &state{pass: pass, edges: &edges}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := st.newSummary(fn)
+			w := &walker{pass: pass, st: st, sum: s}
+			w.block(fd.Body.List)
+		}
+	}
+
+	// Transitive acquires: start from each unit's direct set and fold in
+	// callee sets to a fixpoint. Cross-package callees contribute through
+	// facts exported when their package was analyzed.
+	acquires := map[*fnSummary]map[string]bool{}
+	for _, s := range st.summaries {
+		set := map[string]bool{}
+		for l := range s.direct {
+			set[l] = true
+		}
+		acquires[s] = set
+	}
+	calleeAcquires := func(fn *types.Func) []string {
+		if s, ok := st.byFn[fn]; ok {
+			return sortedKeys(acquires[s])
+		}
+		var fact FnLocks
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Acquires
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range st.summaries {
+			set := acquires[s]
+			for _, c := range s.calls {
+				for _, l := range calleeAcquires(c.fn) {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edges from calls: every lock the callee may acquire, acquired under
+	// every lock held at the call site.
+	for _, s := range st.summaries {
+		for _, c := range s.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, to := range calleeAcquires(c.fn) {
+				for _, from := range c.held {
+					edges = append(edges, Edge{From: from, To: to, Pos: c.pos})
+				}
+			}
+		}
+	}
+
+	for _, s := range st.summaries {
+		if s.fn == nil {
+			continue
+		}
+		if set := acquires[s]; len(set) > 0 {
+			pass.ExportObjectFact(s.fn, &FnLocks{Acquires: sortedKeys(set)})
+		}
+	}
+	pass.ExportPackageFact(&PkgLocks{Edges: dedupeEdges(edges)})
+	return nil
+}
+
+// finish unions every package's edges and reports each distinct cycle once.
+func finish(mp *analysis.ModulePass) error {
+	var edges []Edge
+	for _, pkg := range mp.Packages {
+		if pkg.TypesPkg == nil {
+			continue
+		}
+		var pl PkgLocks
+		if mp.ImportPackageFact(pkg.TypesPkg, &pl) {
+			edges = append(edges, pl.Edges...)
+		}
+	}
+	edges = dedupeEdges(edges)
+
+	next := map[string][]string{}
+	at := map[[2]string]token.Pos{}
+	for _, e := range edges {
+		next[e.From] = append(next[e.From], e.To)
+		at[[2]string{e.From, e.To}] = e.Pos
+	}
+	nodes := make([]string, 0, len(next))
+	for n := range next {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, tos := range next {
+		sort.Strings(tos)
+	}
+
+	// DFS with an explicit stack; a back edge into the current path closes
+	// a cycle. Each cycle is canonicalized (rotated to its smallest label)
+	// so it is reported exactly once no matter where the DFS entered it.
+	seen := map[string]bool{}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var path []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		path = append(path, n)
+		for _, m := range next[n] {
+			if color[m] == gray {
+				// Extract the cycle m ... n from the path.
+				i := len(path) - 1
+				for i >= 0 && path[i] != m {
+					i--
+				}
+				cycle := append([]string(nil), path[i:]...)
+				canon := canonical(cycle)
+				if !seen[canon] {
+					seen[canon] = true
+					report(mp, cycle, at)
+				}
+				continue
+			}
+			if color[m] == white {
+				dfs(m)
+			}
+		}
+		path = path[:len(path)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+	return nil
+}
+
+// report emits one cycle, anchored at the edge that closes it.
+func report(mp *analysis.ModulePass, cycle []string, at map[[2]string]token.Pos) {
+	closing := [2]string{cycle[len(cycle)-1], cycle[0]}
+	pos := at[closing]
+	if len(cycle) == 1 {
+		mp.Reportf(pos,
+			"lock ordering cycle: %s is acquired while already held — deadlock if both acquisitions reach the same instance",
+			cycle[0])
+		return
+	}
+	mp.Reportf(pos,
+		"lock ordering cycle: %s — opposite acquisition orders can deadlock; pick one order and hold to it",
+		strings.Join(append(append([]string(nil), cycle...), cycle[0]), " -> "))
+}
+
+// canonical rotates a cycle so its lexically smallest label leads, giving
+// every entry point into the same cycle the same key.
+func canonical(cycle []string) string {
+	min := 0
+	for i, l := range cycle {
+		if l < cycle[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rot, "->")
+}
+
+// state is the per-package accumulation shared by all walkers.
+type state struct {
+	pass      *analysis.Pass
+	edges     *[]Edge
+	summaries []*fnSummary
+	byFn      map[*types.Func]*fnSummary
+}
+
+func (st *state) newSummary(fn *types.Func) *fnSummary {
+	s := &fnSummary{fn: fn, direct: map[string]bool{}}
+	st.summaries = append(st.summaries, s)
+	if fn != nil {
+		if st.byFn == nil {
+			st.byFn = map[*types.Func]*fnSummary{}
+		}
+		st.byFn[fn] = s
+	}
+	return s
+}
+
+// walker performs the flow-ordered held-set walk over one function body.
+type walker struct {
+	pass *analysis.Pass
+	st   *state
+	sum  *fnSummary
+	held []heldLock
+}
+
+func (w *walker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+// branch runs s against a copy of the held set: what a conditional path
+// locks or unlocks must not leak into the fallthrough path.
+func (w *walker) branch(s ast.Stmt) {
+	saved := append([]heldLock(nil), w.held...)
+	w.stmt(s)
+	w.held = saved
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.branch(s.Body)
+		if s.Else != nil {
+			w.branch(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.branch(s.Body)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.branch(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			w.branch(c)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			w.branch(c)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.branch(c)
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.block(s.Body)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm)
+		}
+		w.block(s.Body)
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return: the lock stays held for the
+		// rest of the walk, which is the point of the pattern. Any other
+		// deferred call runs with whatever is held at return; approximating
+		// that as "the current held set" errs toward reporting.
+		if w.mutexOp(s.Call) == opNone {
+			w.handleCall(s.Call, w.heldLabels())
+			for _, a := range s.Call.Args {
+				w.expr(a)
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine holds nothing, whatever the spawner holds,
+		// and nothing it locks is held by the spawner — so its body is
+		// walked as a separate unit whose locks never enter the spawner's
+		// acquire set. Its args evaluate in the spawner, though.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			gw := &walker{pass: w.pass, st: w.st, sum: w.st.newSummary(nil)}
+			gw.block(lit.Body.List)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// expr finds calls (and func literals) inside an expression.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A literal may run now (immediate call) or later (stored); we
+			// walk it under the current held set, branch-style.
+			saved := append([]heldLock(nil), w.held...)
+			w.block(x.Body.List)
+			w.held = saved
+			return false
+		case *ast.CallExpr:
+			switch w.mutexOp(x) {
+			case opLock:
+				if label := w.lockLabel(x); label != "" {
+					for _, h := range w.held {
+						*w.st.edges = append(*w.st.edges, Edge{From: h.label, To: label, Pos: x.Pos()})
+					}
+					w.held = append(w.held, heldLock{label: label})
+					w.sum.direct[label] = true
+				}
+			case opUnlock:
+				if label := w.lockLabel(x); label != "" {
+					for i := len(w.held) - 1; i >= 0; i-- {
+						if w.held[i].label == label {
+							w.held = append(w.held[:i:i], w.held[i+1:]...)
+							break
+						}
+					}
+				}
+			default:
+				w.handleCall(x, w.heldLabels())
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) heldLabels() []string {
+	if len(w.held) == 0 {
+		return nil
+	}
+	out := make([]string, len(w.held))
+	for i, h := range w.held {
+		out[i] = h.label
+	}
+	return out
+}
+
+// handleCall records a static call for the fixpoint; dynamic calls carry
+// no lock information and are skipped.
+func (w *walker) handleCall(c *ast.CallExpr, held []string) {
+	fn := analysis.Callee(w.pass.TypesInfo, c)
+	if fn == nil {
+		return
+	}
+	w.sum.calls = append(w.sum.calls, callRec{fn: fn, held: held, pos: c.Pos()})
+}
+
+type mutexOp int
+
+const (
+	opNone mutexOp = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp classifies c as a sync.Mutex/RWMutex (un)lock, or not.
+func (w *walker) mutexOp(c *ast.CallExpr) mutexOp {
+	fn := analysis.Callee(w.pass.TypesInfo, c)
+	if fn == nil {
+		return opNone
+	}
+	recv := analysis.ReceiverNamed(fn)
+	if recv == nil || analysis.ObjPkgPath(recv.Obj()) != "sync" {
+		return opNone
+	}
+	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return opNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return opLock
+	case "Unlock", "RUnlock":
+		return opUnlock
+	}
+	return opNone
+}
+
+// lockLabel names the lock a (un)lock call operates on by its declaration
+// site: `pkg.Type.field` for a struct-field mutex, `pkg.var` for a
+// package- or function-level mutex variable. Shapes that cannot be named
+// (an element of a mutex slice, say) return "" and are not tracked.
+func (w *walker) lockLabel(c *ast.CallExpr) string {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// x.mu.Lock(): name the field by its owning named type.
+		if s, ok := w.pass.TypesInfo.Selections[recv]; ok && s.Kind() == types.FieldVal {
+			if owner := analysis.NamedOf(s.Recv()); owner != nil {
+				return fmt.Sprintf("%s.%s.%s",
+					shortPkg(analysis.ObjPkgPath(owner.Obj())), owner.Obj().Name(), recv.Sel.Name)
+			}
+		}
+		// Qualified package-level var: pkg.someMu.Lock().
+		if obj, ok := w.pass.TypesInfo.Uses[recv.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := w.pass.TypesInfo.Uses[recv].(*types.Var); ok && obj.Pkg() != nil {
+			return shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupeEdges(edges []Edge) []Edge {
+	seen := map[[2]string]bool{}
+	var out []Edge
+	for _, e := range edges {
+		k := [2]string{e.From, e.To}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/analysis/analysistest"
+	"uvmdiscard/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"cyclea", "cycleself", "locklow", "lockmid", "lockhigh", "lockclean")
+}

@@ -1,0 +1,35 @@
+// Package cyclea seeds the classic intra-package ABBA deadlock: One
+// acquires P then Q, Two acquires Q then (through a helper) P.
+package cyclea
+
+import "sync"
+
+type P struct{ mu sync.Mutex }
+
+type Q struct{ mu sync.Mutex }
+
+// One acquires P then Q. The early-unlock branch must stay branch-local:
+// on the fallthrough path p.mu is still held when q.mu is acquired.
+func One(p *P, q *Q, skip bool) {
+	p.mu.Lock()
+	if skip {
+		p.mu.Unlock()
+		return
+	}
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func lockP(p *P) {
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// Two acquires Q then P — through lockP, so the edge comes from the
+// intra-package transitive-acquire fixpoint, not a literal Lock call.
+func Two(p *P, q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	lockP(p) // want `lock ordering cycle: cyclea\.P\.mu -> cyclea\.Q\.mu -> cyclea\.P\.mu`
+}

@@ -1,0 +1,24 @@
+// Package cycleself seeds the self-deadlock: a method re-enters another
+// locking method of the same type while holding the lock.
+package cycleself
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Sum holds s.mu and calls Len, which locks it again: sync.Mutex is not
+// reentrant, so this deadlocks the moment Sum runs.
+func (s *S) Sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n + s.Len() // want `cycleself\.S\.mu is acquired while already held`
+}

@@ -1,0 +1,38 @@
+// Package lockclean acquires its two locks in the same order everywhere
+// and spawns a locking goroutine — none of which is a cycle, and the
+// goroutine's lock must not be attributed to the spawner's held set.
+package lockclean
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func First(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func Second(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Spawn holds b.mu while starting a goroutine that locks a.mu. The
+// goroutine does not run under b.mu, so this is not a B -> A edge — if it
+// were, First/Second's A -> B order would falsely become a cycle.
+func Spawn(a *A, b *B, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+}

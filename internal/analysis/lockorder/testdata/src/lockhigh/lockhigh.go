@@ -1,0 +1,17 @@
+// Package lockhigh closes the cross-package cycle: it acquires Store.Mu
+// then Pool.Mu, the opposite of lockmid.Fill's order. The diagnostic is
+// reported at the edge that closes the cycle (in lockmid).
+package lockhigh
+
+import (
+	"locklow"
+	"lockmid"
+)
+
+// Drain acquires Store.Mu then Pool.Mu.
+func Drain(s *locklow.Store, p *lockmid.Pool) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	p.Mu.Lock()
+	p.Mu.Unlock()
+}

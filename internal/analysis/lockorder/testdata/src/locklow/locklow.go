@@ -1,0 +1,18 @@
+// Package locklow is the bottom of a cross-package lock-order cycle: it
+// owns Store.Mu and exports a method that acquires it, whose FnLocks fact
+// carries the acquisition upward to importing packages.
+package locklow
+
+import "sync"
+
+type Store struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires Store.Mu; callers holding other locks inherit this edge.
+func (s *Store) Bump() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.n++
+}

@@ -1,0 +1,22 @@
+// Package lockmid holds Pool.Mu while calling into locklow — one half of
+// a cycle whose other half lives in lockhigh. Neither package alone is
+// wrong; only the module-wide union of edges shows the deadlock.
+package lockmid
+
+import (
+	"sync"
+
+	"locklow"
+)
+
+type Pool struct {
+	Mu sync.Mutex
+	S  *locklow.Store
+}
+
+// Fill acquires Pool.Mu then (through Bump's exported fact) Store.Mu.
+func (p *Pool) Fill() {
+	p.Mu.Lock()
+	defer p.Mu.Unlock()
+	p.S.Bump() // want `lock ordering cycle: locklow\.Store\.Mu -> lockmid\.Pool\.Mu -> locklow\.Store\.Mu`
+}

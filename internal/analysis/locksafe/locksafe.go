@@ -1,7 +1,7 @@
 // Package locksafe defines an analyzer enforcing the repo's mutex
-// convention: in a struct whose first field is `mu sync.Mutex` (or
-// RWMutex), every field declared after mu is guarded by it, and methods of
-// that struct may only touch guarded fields while holding the lock.
+// convention: in a struct with a field `mu sync.Mutex` (or RWMutex), every
+// field declared after mu is guarded by it, and methods of that struct may
+// only touch guarded fields while holding the lock.
 //
 // A method counts as holding the lock when its body calls <recv>.mu.Lock
 // or <recv>.mu.RLock, or when its name ends in "Locked" (the convention
@@ -9,10 +9,17 @@
 // totalBytesLocked). This is exactly the race class PR 1 fixed in
 // metrics.Collector: getters reading counters while a run was still
 // writing them.
+//
+// The pass is typed: the mutex field is recognized by its go/types
+// identity (so a renamed or dot-imported sync still counts), and guarded
+// field accesses are resolved through types.Info.Selections and a local
+// alias set seeded from the receiver — `c := r; c.n++` is the aliased-
+// receiver false negative the old syntax-only pass missed.
 package locksafe
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 
 	"uvmdiscard/internal/analysis"
@@ -27,32 +34,46 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// guarded describes one struct with a mu-guard.
-type guarded struct {
-	muName string          // the mutex field's name (always "mu" today)
-	fields map[string]bool // fields declared after mu
-}
-
 func run(pass *analysis.Pass) error {
-	// Pass 1: find structs with a mu sync.Mutex / sync.RWMutex field.
-	structs := map[string]*guarded{} // type name -> guard info
+	info := pass.TypesInfo
+	// Pass 1: find structs with a mu sync.Mutex / sync.RWMutex field;
+	// fields declared after mu are guarded.
+	guarded := map[*types.TypeName]map[string]bool{}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
 			if !ok {
 				return true
 			}
-			st, ok := ts.Type.(*ast.StructType)
+			tn, ok := info.Defs[ts.Name].(*types.TypeName)
 			if !ok {
 				return true
 			}
-			if g := guardInfo(f, st); g != nil {
-				structs[ts.Name.Name] = g
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
 			}
+			muIdx := -1
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if fld.Name() == "mu" &&
+					(analysis.IsNamed(fld.Type(), "sync", "Mutex") || analysis.IsNamed(fld.Type(), "sync", "RWMutex")) {
+					muIdx = i
+					break
+				}
+			}
+			if muIdx < 0 || muIdx == st.NumFields()-1 {
+				return true
+			}
+			fields := map[string]bool{}
+			for i := muIdx + 1; i < st.NumFields(); i++ {
+				fields[st.Field(i).Name()] = true
+			}
+			guarded[tn] = fields
 			return true
 		})
 	}
-	if len(structs) == 0 {
+	if len(guarded) == 0 {
 		return nil
 	}
 
@@ -63,40 +84,55 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
 				continue
 			}
-			typeName := recvTypeName(fd.Recv.List[0].Type)
-			g, ok := structs[typeName]
+			fn, ok := info.Defs[fd.Name].(*types.Func)
 			if !ok {
+				continue
+			}
+			recvNamed := analysis.ReceiverNamed(fn)
+			if recvNamed == nil {
+				continue
+			}
+			tn := recvNamed.Obj()
+			fields := guarded[tn]
+			if fields == nil {
 				continue
 			}
 			if strings.HasSuffix(fd.Name.Name, "Locked") {
 				continue // caller holds the lock by convention
 			}
-			recv := ""
+			var recvObj types.Object
 			if len(fd.Recv.List[0].Names) > 0 {
-				recv = fd.Recv.List[0].Names[0].Name
+				recvObj = info.Defs[fd.Recv.List[0].Names[0]]
 			}
-			if recv == "" || recv == "_" {
+			if recvObj == nil {
 				continue // receiver unused: no field access possible
 			}
-			if locksMu(fd.Body, recv, g.muName) {
+			aliases := receiverAliases(info, fd.Body, recvObj)
+			if locksMu(info, fd.Body, aliases, tn) {
 				continue
 			}
-			// No lock acquired: any guarded-field access is a finding.
+			// No lock acquired: any guarded-field access through the
+			// receiver (or an alias of it) is a finding.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
 					return true
 				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok || id.Name != recv {
+				selInfo := info.Selections[sel]
+				if selInfo == nil || selInfo.Kind() != types.FieldVal {
 					return true
 				}
-				if g.fields[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(),
-						"%s.%s is guarded by %s.%s, but method %s accesses it without holding the lock (no %s.%s.Lock and name does not end in Locked)",
-						typeName, sel.Sel.Name, typeName, g.muName,
-						fd.Name.Name, recv, g.muName)
+				if !fields[sel.Sel.Name] || ownerTypeName(selInfo) != tn {
+					return true
 				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || !aliases[objOf(info, id)] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s is guarded by %s.mu, but method %s accesses it without holding the lock (no %s.mu.Lock and name does not end in Locked)",
+					tn.Name(), sel.Sel.Name, tn.Name(),
+					fd.Name.Name, id.Name)
 				return true
 			})
 		}
@@ -104,63 +140,70 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// guardInfo returns the guard layout of a struct whose fields include a
-// sync.Mutex/RWMutex named mu; fields declared after it are guarded.
-func guardInfo(f *ast.File, st *ast.StructType) *guarded {
-	syncName := analysis.ImportName(f, "sync")
-	if syncName == "" || st.Fields == nil {
+// ownerTypeName resolves the named type a field selection goes through.
+func ownerTypeName(sel *types.Selection) *types.TypeName {
+	n := analysis.NamedOf(sel.Recv())
+	if n == nil {
 		return nil
 	}
-	var g *guarded
-	for _, field := range st.Fields.List {
-		if g != nil {
-			for _, name := range field.Names {
-				g.fields[name.Name] = true
-			}
-			continue
-		}
-		sel, ok := field.Type.(*ast.SelectorExpr)
-		if !ok {
-			continue
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Name != syncName {
-			continue
-		}
-		if sel.Sel.Name != "Mutex" && sel.Sel.Name != "RWMutex" {
-			continue
-		}
-		for _, name := range field.Names {
-			if name.Name == "mu" {
-				g = &guarded{muName: "mu", fields: map[string]bool{}}
-			}
-		}
-	}
-	if g == nil || len(g.fields) == 0 {
-		return nil
-	}
-	return g
+	return n.Obj()
 }
 
-// recvTypeName extracts T from a receiver of type T or *T.
-func recvTypeName(expr ast.Expr) string {
-	switch t := expr.(type) {
-	case *ast.Ident:
-		return t.Name
-	case *ast.StarExpr:
-		return recvTypeName(t.X)
-	case *ast.IndexExpr: // generic receiver T[P]
-		return recvTypeName(t.X)
-	case *ast.IndexListExpr:
-		return recvTypeName(t.X)
-	default:
-		return ""
+// objOf returns the object an identifier refers to, whether it defines or
+// uses it.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
 	}
+	return info.Defs[id]
 }
 
-// locksMu reports whether body contains a call to recv.mu.Lock or
-// recv.mu.RLock.
-func locksMu(body *ast.BlockStmt, recv, mu string) bool {
+// receiverAliases returns the set of objects that may refer to the
+// receiver: the receiver itself plus any local variable assigned from a
+// member of the set (`c := r`, `var c = r`, `c = r`), iterated to a fixed
+// point so chains and later re-assignments are covered.
+func receiverAliases(info *types.Info, body *ast.BlockStmt, recv types.Object) map[types.Object]bool {
+	aliases := map[types.Object]bool{recv: true}
+	for changed := true; changed; {
+		changed = false
+		add := func(lhs, rhs ast.Expr) {
+			rid, ok := ast.Unparen(rhs).(*ast.Ident)
+			if !ok || !aliases[objOf(info, rid)] {
+				return
+			}
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				return
+			}
+			if obj := objOf(info, lid); obj != nil && !aliases[obj] {
+				aliases[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						add(st.Lhs[i], st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i := range st.Names {
+						add(st.Names[i], st.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+// locksMu reports whether body contains a call to <alias>.mu.Lock or
+// <alias>.mu.RLock where mu is tn's guard field.
+func locksMu(info *types.Info, body *ast.BlockStmt, aliases map[types.Object]bool, tn *types.TypeName) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -171,12 +214,16 @@ func locksMu(body *ast.BlockStmt, recv, mu string) bool {
 		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
 			return true
 		}
-		inner, ok := sel.X.(*ast.SelectorExpr)
-		if !ok || inner.Sel.Name != mu {
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "mu" {
 			return true
 		}
-		id, ok := inner.X.(*ast.Ident)
-		if ok && id.Name == recv {
+		innerSel := info.Selections[inner]
+		if innerSel == nil || ownerTypeName(innerSel) != tn {
+			return true
+		}
+		id, ok := ast.Unparen(inner.X).(*ast.Ident)
+		if ok && aliases[objOf(info, id)] {
 			found = true
 			return false
 		}

@@ -1,0 +1,49 @@
+package a
+
+import gosync "sync"
+
+// Gauge is guarded even though sync is imported under another name — the
+// typed pass recognizes the mutex by its type identity, not the import
+// spelling (a false-negative class in the old syntax-only pass).
+type Gauge struct {
+	mu gosync.Mutex
+	v  int
+}
+
+// Set locks; fine.
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+// PeekAliased reads the guarded field through a local alias of the
+// receiver — invisible to the old pass, flagged by the typed one.
+func (g *Gauge) PeekAliased() int {
+	alias := g
+	return alias.v // want "Gauge.v is guarded"
+}
+
+// ChainAliased reaches the field through a chain of aliases.
+func (g *Gauge) ChainAliased() int {
+	a := g
+	b := a
+	return b.v // want "Gauge.v is guarded"
+}
+
+// LockAliased locks through an alias, which counts as holding the lock.
+func (g *Gauge) LockAliased() int {
+	alias := g
+	alias.mu.Lock()
+	defer alias.mu.Unlock()
+	return alias.v
+}
+
+// Other reads a different Gauge's field with no lock — outside this pass's
+// scope (only the receiver and its aliases are checked; cross-instance
+// discipline is lockorder/race-detector territory).
+func (g *Gauge) Other(o *Gauge) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return o.v
+}

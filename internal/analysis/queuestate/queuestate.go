@@ -9,6 +9,11 @@
 // Everything else must go through the driver's public API so the
 // chunk-in-exactly-one-queue invariant (enforced at runtime by the core
 // sanitizer) has exactly one owner to audit.
+//
+// The pass is typed: a call counts only when the callee resolves to a
+// method of gpudev.Device, so unrelated types that happen to share a
+// mutator name are never flagged, and renaming or dot-importing gpudev no
+// longer hides a call the way it did from the old import-name match.
 package queuestate
 
 import (
@@ -25,6 +30,9 @@ var Analyzer = &analysis.Analyzer{
 		"to internal/core and internal/gpudev",
 	Run: run,
 }
+
+// gpudevPath is the import path of the queue implementation.
+const gpudevPath = "uvmdiscard/internal/gpudev"
 
 // mutators are the Device methods that move chunks between queues.
 var mutators = map[string]bool{
@@ -51,24 +59,22 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		// Only files that can see gpudev can hold a *gpudev.Device; the
-		// import check keeps the name-based match from firing on
-		// unrelated types that happen to share a method name.
-		if analysis.ImportName(f, "uvmdiscard/internal/gpudev") == "" {
-			continue
-		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !mutators[sel.Sel.Name] {
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || !mutators[fn.Name()] {
+				return true
+			}
+			recv := analysis.ReceiverNamed(fn)
+			if recv == nil || recv.Obj().Name() != "Device" || analysis.ObjPkgPath(recv.Obj()) != gpudevPath {
 				return true
 			}
 			pass.Reportf(call.Pos(),
 				"call to gpudev queue mutator %s outside internal/core and internal/gpudev: queue discipline is owned by the driver; use the core.Driver API (package %s)",
-				sel.Sel.Name, pkgLabel(pass.PkgPath))
+				fn.Name(), pkgLabel(pass.PkgPath))
 			return true
 		})
 	}

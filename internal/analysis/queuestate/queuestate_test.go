@@ -9,5 +9,5 @@ import (
 
 func TestQueuestate(t *testing.T) {
 	analysistest.Run(t, "testdata", queuestate.Analyzer,
-		"internal/sched", "internal/core", "internal/other")
+		"internal/sched", "internal/core", "internal/other", "internal/renamed")
 }

@@ -1,0 +1,16 @@
+// Package renamed imports gpudev under another name — the typed pass
+// resolves the callee's receiver type, so the rename (which defeated the
+// old import-name check) hides nothing.
+package renamed
+
+import gd "uvmdiscard/internal/gpudev"
+
+// Steal pokes the free queue through the renamed import.
+func Steal(d *gd.Device) *gd.Chunk {
+	return d.PopFree() // want "queue mutator PopFree outside"
+}
+
+// Requeue re-files a chunk behind the driver's back.
+func Requeue(d *gd.Device, c *gd.Chunk) {
+	d.Touch(c) // want "queue mutator Touch outside"
+}

@@ -6,17 +6,23 @@
 // the parallel experiment runner stays byte-for-byte deterministic.
 //
 // Deliberate wall-clock uses (e.g. reporting how long an experiment took on
-// the host) carry an `//uvmlint:ignore simdet <reason>` suppression.
+// the host) carry an `//uvmlint:ignore simdet -- <reason>` suppression.
 //
 // The deadline/watchdog layer is allowlisted as whole packages rather than
 // line by line: internal/runctl (the wall-deadline watchdog), internal/
 // service, and cmd/uvmsimd (the uvmsimd control plane) exist to impose real
 // time on simulations from the outside, so wall-clock reads are their job.
 // The math/rand ban still applies to them — only the clock is exempted.
+//
+// The pass is typed: calls are resolved through go/types, so renaming the
+// import (`import t "time"`), dot-importing it, or calling a method value
+// does not hide a wall-clock read the way it did from the old
+// name-matching pass.
 package simdet
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 
 	"uvmdiscard/internal/analysis"
@@ -63,23 +69,20 @@ func run(pass *analysis.Pass) error {
 		if allowWall {
 			continue
 		}
-		timeName := analysis.ImportName(f, "time")
-		if timeName == "" || timeName == "_" {
-			continue
-		}
+		// Every reference — qualified (time.Now), renamed (t.Now), or
+		// dot-imported (Now) — resolves through exactly one use of the
+		// *types.Func, so inspecting identifiers reports each once.
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Name != timeName || id.Obj != nil {
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || analysis.ObjPkgPath(fn) != "time" || !bannedTimeFuncs[fn.Name()] {
 				return true
 			}
-			if bannedTimeFuncs[sel.Sel.Name] {
-				pass.Reportf(sel.Pos(),
-					"time.%s reads the wall clock: simulation code must derive time from sim.Time", sel.Sel.Name)
-			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock: simulation code must derive time from sim.Time", fn.Name())
 			return true
 		})
 	}

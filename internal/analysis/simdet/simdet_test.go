@@ -9,5 +9,5 @@ import (
 
 func TestSimdet(t *testing.T) {
 	analysistest.Run(t, "testdata", simdet.Analyzer,
-		"internal/badclock", "internal/runctl", "examples/demo")
+		"internal/badclock", "internal/renamed", "internal/runctl", "examples/demo")
 }

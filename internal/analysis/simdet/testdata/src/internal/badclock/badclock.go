@@ -23,13 +23,28 @@ func Format(d time.Duration) string {
 	return d.Round(time.Millisecond).String()
 }
 
-// Allowed demonstrates suppression with a reason.
+// Allowed demonstrates suppression with a justification.
 func Allowed() time.Time {
-	//uvmlint:ignore simdet wall-clock needed for host-side progress logs
+	//uvmlint:ignore simdet -- wall-clock needed for host-side progress logs
 	return time.Now()
 }
 
 // AllowedTrailing suppresses on the same line.
 func AllowedTrailing() time.Time {
-	return time.Now() //uvmlint:ignore simdet host-side reporting only
+	return time.Now() //uvmlint:ignore simdet -- host-side reporting only
+}
+
+// Unjustified uses the pre-PR-7 suppression syntax, which no longer
+// suppresses: the framework reports the comment itself and the finding
+// stays live.
+func Unjustified() time.Time {
+	//uvmlint:ignore simdet missing the double-dash justification separator // want "malformed //uvmlint:ignore"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Stale carries a suppression for a line that no longer has a finding;
+// the framework demands it be deleted.
+func Stale() time.Duration {
+	//uvmlint:ignore simdet -- left over from a deleted wall-clock read // want "unused //uvmlint:ignore for simdet"
+	return time.Second
 }

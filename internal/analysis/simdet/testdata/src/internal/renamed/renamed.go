@@ -1,0 +1,22 @@
+// Package renamed hides the time package behind another import name — the
+// false-negative class the typed simdet pass closes.
+package renamed
+
+import (
+	clock "time"
+)
+
+// Stamp reads the wall clock through the renamed import.
+func Stamp() clock.Time {
+	return clock.Now() // want "time.Now reads the wall clock"
+}
+
+// Elapsed uses Since through the renamed import.
+func Elapsed(t clock.Time) clock.Duration {
+	return clock.Since(t) // want "time.Since reads the wall clock"
+}
+
+// Format still only touches deterministic helpers; fine.
+func Format(d clock.Duration) string {
+	return d.String()
+}

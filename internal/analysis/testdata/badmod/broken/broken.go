@@ -1,0 +1,7 @@
+// Package broken fails to type-check: the loader must record the errors
+// and carry on, not panic or abort the module load.
+package broken
+
+func Boom() int {
+	return undefinedIdentifier + 1
+}

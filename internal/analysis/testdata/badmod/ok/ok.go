@@ -1,0 +1,7 @@
+// Package ok type-checks cleanly and must still load even though a
+// sibling package is broken.
+package ok
+
+import "strings"
+
+func Upper(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,5 @@
+//go:build ignore
+
+package tagged
+
+const Skipped = thisWouldNotTypeCheck

@@ -1,0 +1,5 @@
+// Package tagged has files excluded by build constraints; only this file
+// is part of the package on linux with the default tags.
+package tagged
+
+const Kept = true

@@ -1,0 +1,3 @@
+package tagged
+
+const WindowsOnly = alsoWouldNotTypeCheck

@@ -1,0 +1,3 @@
+package hidden
+
+const MustNeverLoad = syntactically broken on purpose

@@ -1,0 +1,5 @@
+// Package xtest has an external test package riding along in the same
+// directory; both units must type-check and merge into one Info.
+package xtest
+
+func Double(n int) int { return 2 * n }

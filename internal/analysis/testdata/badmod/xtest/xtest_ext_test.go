@@ -1,0 +1,13 @@
+package xtest_test
+
+import (
+	"testing"
+
+	"badmod/xtest"
+)
+
+func TestDouble(t *testing.T) {
+	if xtest.Double(2) != 4 {
+		t.Fatal("nope")
+	}
+}

@@ -156,10 +156,10 @@ dispatch:
 // the whole run.
 func runOne(e Experiment, opts Options) (r RunResult) {
 	r.Experiment = e
-	//uvmlint:ignore simdet RunResult.Wall reports host wall time, not simulated time
+	//uvmlint:ignore simdet -- RunResult.Wall reports host wall time, not simulated time
 	started := time.Now()
 	defer func() {
-		//uvmlint:ignore simdet RunResult.Wall reports host wall time, not simulated time
+		//uvmlint:ignore simdet -- RunResult.Wall reports host wall time, not simulated time
 		r.Wall = time.Since(started)
 		if p := recover(); p != nil {
 			r.Table = nil

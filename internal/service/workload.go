@@ -172,7 +172,7 @@ func runSpin(ctl *runctl.Control, col *metrics.Collector) (err error) {
 	}
 }
 
-func (s *Server) runBatchJob(j *job) (string, error) {
+func (s *Server) runBatchJob(j *job) (res string, err error) {
 	b := j.batch
 	opts := experiments.Options{
 		Quick:      b.Quick,
@@ -189,12 +189,18 @@ func (s *Server) runBatchJob(j *job) (string, error) {
 	}
 	var jnl *experiments.Journal
 	if b.Journal != "" {
-		var err error
 		jnl, err = experiments.OpenJournal(s.journalPath(b.Journal), b.Quick)
 		if err != nil {
 			return "", err
 		}
-		defer jnl.Close()
+		// A dropped close can lose buffered journal state, which is
+		// exactly what the batch-resume smoke test replays from: surface
+		// it as the job's error unless a run failure already outranks it.
+		defer func() {
+			if cerr := jnl.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("journal close: %w", cerr)
+			}
+		}()
 	}
 	results := experiments.RunAllJournaled(j.ctx, b.selected, opts, par, jnl, func(r experiments.RunResult) {
 		j.addFinished(1)
