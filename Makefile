@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json examples repro csv ci lint lint-baseline chaos smoke-service clean
+.PHONY: all build test test-short test-race bench bench-json examples repro csv ci lint lint-baseline chaos chaos-fleet smoke-service clean
 
 all: build test
 
@@ -55,11 +55,25 @@ else
 	$(GO) test -race -count=1 -run TestChaosRandomFaults ./internal/core/ -v
 endif
 
-# End-to-end smokes for the uvmsimd service: the kill/resume crash-safety
-# test (smoke_test.go) and the /metrics + SSE-progress observability test
-# (metrics_smoke_test.go), both against the real daemon binary.
+# The fleet chaos harness: an in-process coordinator and worker pool over
+# real HTTP with seeded worker kills mid-job and a coordinator crash/restart
+# from its journal (internal/fleet chaos_test.go). Asserts every job
+# completes exactly once, byte-identical to a single-process run.
+# FLEET_SEED=n replays a single seed; unset runs the built-in set.
+chaos-fleet:
+ifdef FLEET_SEED
+	$(GO) test -race -count=1 -run TestChaosFleet ./internal/fleet/ -fleet.seed $(FLEET_SEED) -v
+else
+	$(GO) test -race -count=1 -run TestChaosFleet ./internal/fleet/ -v
+endif
+
+# End-to-end smokes against the real binaries: the uvmsimd kill/resume
+# crash-safety test (smoke_test.go), the /metrics + SSE-progress
+# observability test (metrics_smoke_test.go), and the fleet smoke — one
+# uvmfleet coordinator, two uvmsimd -worker processes, SIGKILL one worker
+# mid-lease, every job still completes byte-identically elsewhere.
 smoke-service:
-	$(GO) test -count=1 -run 'TestSmoke' ./cmd/uvmsimd -v
+	$(GO) test -count=1 -run 'TestSmoke' ./cmd/uvmsimd ./cmd/uvmfleet -v
 
 # One testing.B benchmark per paper table/figure + ablations + extensions.
 bench:

@@ -19,6 +19,11 @@
 //	GET    /v1/metrics               admission/outcome counters (JSON)
 //	GET    /metrics                  Prometheus text exposition (DESIGN.md §12)
 //	GET    /healthz                  ok | draining
+//
+// With -worker -coordinator=URL the daemon instead joins a fleet (DESIGN.md
+// §14): it serves nothing and pulls leased jobs from a uvmfleet
+// coordinator, renewing each lease at runctl checkpoints and reporting
+// results idempotently.
 package main
 
 import (
@@ -27,12 +32,14 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"uvmdiscard/internal/fleet"
 	"uvmdiscard/internal/service"
 	"uvmdiscard/internal/sim"
 )
@@ -47,10 +54,19 @@ func main() {
 		simBudget  = flag.Duration("sim-budget", 0, "default per-run simulated-time budget (0 = unlimited)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
 		retain     = flag.Int("retain", 256, "finished jobs kept for GET /v1/jobs; oldest terminal jobs are evicted beyond this")
+
+		workerMode  = flag.Bool("worker", false, "run as a fleet worker pulling leased jobs instead of serving HTTP")
+		coordinator = flag.String("coordinator", "", "coordinator base URL for -worker mode (e.g. http://127.0.0.1:8078)")
+		workerName  = flag.String("worker-name", "", "fleet worker name (-worker mode; default <hostname>-<pid>)")
+		capacity    = flag.Int("capacity", 0, "concurrent leased jobs in -worker mode (0 = -workers, then GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "uvmsimd: ", log.LstdFlags)
+	if *workerMode {
+		runWorker(logger, *coordinator, *workerName, *capacity, *workers)
+		return
+	}
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
 			logger.Fatalf("journal dir: %v", err)
@@ -75,7 +91,7 @@ func main() {
 	//uvmlint:ignore errsink -- stdout may be a pipe where fsync is unsupported; the line above is what matters
 	os.Stdout.Sync()
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := service.NewHTTPServer(srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -97,4 +113,63 @@ func main() {
 	defer cancel2()
 	_ = hs.Shutdown(shutCtx)
 	logger.Printf("bye")
+}
+
+// runWorker is the -worker mode: join the fleet behind the coordinator and
+// pull leased jobs until interrupted. Worker death needs no goodbye — the
+// coordinator discovers it by heartbeat timeout and lease expiry, which is
+// the whole point of the protocol.
+func runWorker(logger *log.Logger, coordinator, name string, capacity, workers int) {
+	if coordinator == "" {
+		logger.Fatalf("-worker requires -coordinator=URL")
+	}
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "uvmsimd"
+		}
+		name = fmt.Sprintf("%s-%d", sanitizeName(host), os.Getpid())
+	}
+	if capacity < 1 {
+		capacity = workers
+	}
+	if capacity < 1 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Name:     name,
+		Capacity: capacity,
+		Log:      logger,
+	}, fleet.NewClient(coordinator))
+	// The smoke harness parses this line, mirroring the serving banner.
+	fmt.Printf("uvmsimd worker %s pulling from %s\n", name, coordinator)
+	//uvmlint:ignore errsink -- stdout may be a pipe where fsync is unsupported; the line above is what matters
+	os.Stdout.Sync()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		logger.Fatalf("worker: %v", err)
+	}
+	logger.Printf("worker %s stopping", name)
+}
+
+// sanitizeName squeezes a hostname into the fleet's label-safe alphabet.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "uvmsimd"
+	}
+	if len(out) > 40 {
+		out = out[:40]
+	}
+	return out
 }

@@ -41,6 +41,8 @@ var Analyzer = &analysis.Analyzer{
 var mustCheck = []struct{ pkg, recv, name, why string }{
 	{"uvmdiscard/internal/experiments", "Journal", "Record", "a dropped journal write breaks crash-safe resume"},
 	{"uvmdiscard/internal/experiments", "Journal", "Close", "a dropped close can lose buffered journal state"},
+	{"uvmdiscard/internal/jsonl", "Appender", "Append", "an unchecked append breaks the durable log's crash-safety contract"},
+	{"uvmdiscard/internal/jsonl", "Appender", "Close", "a dropped close can lose buffered log state"},
 	{"os", "File", "Sync", "an unchecked fsync is not durable"},
 	{"uvmdiscard/internal/runctl", "Control", "Check", "the *Interrupt is the cancellation verdict; dropping it keeps a dead job running"},
 }

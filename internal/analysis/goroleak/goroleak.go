@@ -39,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 // uvmsimd daemon and the watchdog layer. Simulation code itself is
 // synchronous by design (see simdet), so goroutines elsewhere are rare and
 // not this pass's concern.
-var scope = []string{"internal/service", "internal/runctl", "cmd/uvmsimd"}
+var scope = []string{"internal/service", "internal/runctl", "internal/fleet", "cmd/uvmsimd", "cmd/uvmfleet"}
 
 func run(pass *analysis.Pass) error {
 	if !inScope(pass.PkgPath) {

@@ -48,7 +48,9 @@ var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 var wallClockAllowed = map[string]bool{
 	"internal/runctl":  true,
 	"internal/service": true,
+	"internal/fleet":   true,
 	"cmd/uvmsimd":      true,
+	"cmd/uvmfleet":     true,
 }
 
 func run(pass *analysis.Pass) error {

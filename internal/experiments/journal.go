@@ -1,12 +1,12 @@
 package experiments
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
+
+	"uvmdiscard/internal/jsonl"
 )
 
 // journalRecord is one line of the batch journal: a finished experiment's
@@ -24,7 +24,9 @@ type journalRecord struct {
 // experiment results, the crash-safety mechanism behind resumable batches:
 // a batch killed mid-run (including kill -9) is re-submitted with the same
 // journal and skips every experiment whose record reached the disk,
-// producing byte-identical final output.
+// producing byte-identical final output. Durability and crash repair are
+// internal/jsonl's contract; this type adds the result schema and the
+// quick-flag keying on top.
 //
 // Only successful results are journaled. An experiment that failed, was
 // canceled, or hit a deadline re-runs on resume — an interrupted run is a
@@ -34,7 +36,7 @@ type journalRecord struct {
 // already serializes them, but the journal does not rely on that).
 type Journal struct {
 	mu    sync.Mutex
-	f     *os.File
+	ap    *jsonl.Appender
 	quick bool
 	done  map[string]*Table
 }
@@ -46,45 +48,24 @@ type Journal struct {
 // an error, since silently skipping a record would resurrect completed work
 // and corrupt the resumed output.
 func OpenJournal(path string, quick bool) (*Journal, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
 	done := make(map[string]*Table)
-	valid := 0
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// No terminating newline: the process died mid-write. Drop it.
-			break
-		}
-		line := data[off : off+nl]
+	ap, err := jsonl.Open(path, func(line []byte) error {
 		var rec journalRecord
-		if uerr := json.Unmarshal(line, &rec); uerr != nil || rec.ID == "" || rec.Table == nil {
-			if off+nl+1 == len(data) {
-				// A complete but unparsable final line is the same torn-write
-				// crash signature (the newline made it out, the payload did
-				// not); re-run that experiment rather than refuse the journal.
-				break
-			}
-			return nil, fmt.Errorf("journal %s: corrupt record at byte %d: %v", path, off, uerr)
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			return uerr
+		}
+		if rec.ID == "" || rec.Table == nil {
+			return fmt.Errorf("record missing id or table")
 		}
 		if rec.Quick == quick {
 			done[rec.ID] = rec.Table
 		}
-		off += nl + 1
-		valid = off
-	}
-	if valid < len(data) {
-		if terr := os.Truncate(path, int64(valid)); terr != nil {
-			return nil, fmt.Errorf("journal: truncating torn record: %w", terr)
-		}
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Journal{f: f, quick: quick, done: done}, nil
+	return &Journal{ap: ap, quick: quick, done: done}, nil
 }
 
 // Resumed returns how many completed experiments the journal carried when
@@ -120,13 +101,9 @@ func (j *Journal) Record(r RunResult) error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.ap.Append(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	j.done[r.Experiment.ID] = r.Table
@@ -137,7 +114,7 @@ func (j *Journal) Record(r RunResult) error {
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	return j.ap.Close()
 }
 
 // RunAllJournaled is RunAll with crash-safe resume: experiments already

@@ -145,6 +145,7 @@ type Control struct {
 	simBudget    sim.Time
 	calls        uint64
 	tripped      *Interrupt
+	observe      func(Progress)
 
 	prog atomic.Pointer[Progress]
 }
@@ -161,6 +162,24 @@ func New(ctx context.Context, wallBudget time.Duration, simBudget sim.Time) *Con
 		c.wallDeadline = c.started.Add(wallBudget)
 	}
 	return c
+}
+
+// SetObserver registers fn to be called from inside Check whenever a
+// progress snapshot is published (the progressStride-amortized checkpoints,
+// plus the final trip-point observation). It is the liveness hook of the
+// fleet layer: a worker renews its job lease from here, so renewal is
+// evidence the simulation is actually crossing driver checkpoints — a hung
+// run stops renewing and its lease expires.
+//
+// fn runs on the run's own goroutine at a driver operation boundary, so it
+// must be cheap and non-blocking (the fleet worker does a non-blocking
+// channel send). Set it before the run starts; a Control is single-threaded
+// state and SetObserver must not race Check. Safe on a nil receiver.
+func (c *Control) SetObserver(fn func(Progress)) {
+	if c == nil {
+		return
+	}
+	c.observe = fn
 }
 
 // Active reports whether the control can ever trip.
@@ -191,7 +210,11 @@ func (c *Control) Check(op string, now sim.Time) *Interrupt {
 	}
 	c.calls++
 	if c.calls == 1 || c.calls%progressStride == 0 {
-		c.prog.Store(&Progress{Op: op, SimTime: now, Checks: c.calls})
+		p := Progress{Op: op, SimTime: now, Checks: c.calls}
+		c.prog.Store(&p)
+		if c.observe != nil {
+			c.observe(p)
+		}
 	}
 	if c.ctx != nil {
 		select {
@@ -219,7 +242,11 @@ func (c *Control) trip(r Reason, op string, now sim.Time, cause error) *Interrup
 	c.tripped = &Interrupt{Reason: r, Op: op, SimTime: now, Wall: wall, Cause: cause}
 	// Final progress observation: observers see exactly where the run
 	// stopped, marked Done so streams can close promptly.
-	c.prog.Store(&Progress{Op: op, SimTime: now, Checks: c.calls, Done: true})
+	p := Progress{Op: op, SimTime: now, Checks: c.calls, Done: true}
+	c.prog.Store(&p)
+	if c.observe != nil {
+		c.observe(p)
+	}
 	return c.tripped
 }
 

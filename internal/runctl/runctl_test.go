@@ -185,3 +185,44 @@ func TestProgressObservation(t *testing.T) {
 		t.Fatalf("trip progress = %+v, %v", fin, ok)
 	}
 }
+
+// The checkpoint observer fires exactly at the progress-publication points
+// (first check, every progressStride-th check, and the trip point), carrying
+// the same snapshot Progress() exposes — the contract the fleet worker's
+// lease renewal depends on.
+func TestObserverFiresAtPublicationPoints(t *testing.T) {
+	var seen []Progress
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 0, 0)
+	c.SetObserver(func(p Progress) { seen = append(seen, p) })
+
+	for i := 0; i < int(progressStride)+1; i++ {
+		if got := c.Check("kernel", sim.Time(i)); got != nil {
+			t.Fatalf("check %d tripped: %v", i, got)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("observer fired %d times over %d checks, want 2 (first + stride)", len(seen), progressStride+1)
+	}
+	if seen[0].Checks != 1 || seen[1].Checks != progressStride {
+		t.Fatalf("observer checkpoints = %d, %d; want 1, %d", seen[0].Checks, seen[1].Checks, progressStride)
+	}
+	cancel()
+	if got := c.Check("kernel", 99); got == nil {
+		t.Fatal("canceled control did not trip")
+	}
+	last := seen[len(seen)-1]
+	if !last.Done || last.Op != "kernel" || last.SimTime != 99 {
+		t.Fatalf("trip observation = %+v, want Done at op kernel, sim time 99", last)
+	}
+	if p, ok := c.Progress(); !ok || p != last {
+		t.Fatalf("Progress() = %+v, observer saw %+v; must match", p, last)
+	}
+
+	// A nil control accepts (and ignores) an observer.
+	var nilc *Control
+	nilc.SetObserver(func(Progress) { t.Fatal("observer on nil control fired") })
+	if nilc.Check("op", 0) != nil {
+		t.Fatal("nil control tripped")
+	}
+}

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the timeout posture
+// a long-running daemon needs so a stalled or malicious client cannot pin
+// connections forever:
+//
+//   - ReadHeaderTimeout bounds the slowloris window: a client that dribbles
+//     header bytes is cut off before it ever reaches a handler.
+//   - ReadTimeout bounds reading an entire request (headers + body). It is
+//     safe for the SSE progress stream: /v1/jobs/{id}/progress is a GET
+//     with no body, and net/http switches a handler-active connection with
+//     a consumed body to the background-read path, which clears the read
+//     deadline — so the stream lives past ReadTimeout while a client that
+//     stalls mid-upload does not.
+//   - IdleTimeout reaps keep-alive connections parked between requests.
+//
+// WriteTimeout is deliberately absent: it is measured from the start of the
+// request and would sever long-lived SSE streams mid-flight. Response
+// liveness is the handlers' concern (the progress stream terminates with
+// its job).
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

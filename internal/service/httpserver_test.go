@@ -1,0 +1,137 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The tests scale the production timeouts down (the fields are exported on
+// http.Server precisely so a caller can tune them) — the properties under
+// test are structural: which timeout severs which kind of client, and which
+// deliberately does not.
+
+func TestNewHTTPServerTimeoutPosture(t *testing.T) {
+	hs := NewHTTPServer(http.NewServeMux())
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout not set: %v", hs.ReadHeaderTimeout)
+	}
+	if hs.ReadTimeout <= 0 {
+		t.Errorf("ReadTimeout not set: %v", hs.ReadTimeout)
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout not set: %v", hs.IdleTimeout)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout must stay zero (it would sever SSE streams): %v", hs.WriteTimeout)
+	}
+}
+
+// serveScaled starts a NewHTTPServer with timeouts shrunk to test scale and
+// returns its address.
+func serveScaled(t *testing.T, h http.Handler) string {
+	t.Helper()
+	hs := NewHTTPServer(h)
+	hs.ReadHeaderTimeout = 150 * time.Millisecond
+	hs.ReadTimeout = 400 * time.Millisecond
+	hs.IdleTimeout = time.Second
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+	return ln.Addr().String()
+}
+
+// TestSlowHeaderClientDisconnected is the slowloris regression: a client
+// that opens a connection and dribbles an incomplete request line must be
+// cut off by ReadHeaderTimeout, not pinned forever.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	addr := serveScaled(t, http.NewServeMux())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if _, err := fmt.Fprintf(conn, "GET /v1/jobs HT"); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+	// Never finish the request line. The server must hang up on us —
+	// net/http sends a 408 on the way out, then closes, so drain to EOF.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(conn)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("server still holding the connection 5s after a stalled header")
+	}
+	if err != nil {
+		t.Fatalf("draining connection: %v", err)
+	}
+	// Depending on where the deadline lands, net/http answers 408 (timeout
+	// reading headers) or 400 (the truncated request line read as garbage);
+	// either way it must be an error status with the connection closed.
+	if len(got) > 0 && !strings.Contains(string(got), "408") && !strings.Contains(string(got), "400") {
+		t.Errorf("unexpected response to a stalled header: %q", got)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("disconnect took %v; want roughly ReadHeaderTimeout (150ms)", elapsed)
+	}
+}
+
+// TestSSEStreamSurvivesReadTimeout pins the subtle half of the posture: the
+// progress stream is a body-less GET, and once the handler is running with
+// the request consumed, net/http moves the connection to the background-read
+// path and clears the read deadline — so a stream may outlive ReadTimeout.
+// A WriteTimeout, by contrast, would fire mid-stream; this test is the
+// regression against anyone adding one.
+func TestSSEStreamSurvivesReadTimeout(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			t.Errorf("response writer is not a flusher")
+			return
+		}
+		// 8 events over ~800ms: twice the scaled 400ms ReadTimeout.
+		for i := 0; i < 8; i++ {
+			if _, err := fmt.Fprintf(w, "data: tick %d\n\n", i); err != nil {
+				return
+			}
+			fl.Flush()
+			time.Sleep(100 * time.Millisecond)
+		}
+	})
+	addr := serveScaled(t, mux)
+
+	resp, err := http.Get("http://" + addr + "/stream")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+
+	var events int
+	start := time.Now()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: tick") {
+			events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream severed after %v (%d events): %v", time.Since(start), events, err)
+	}
+	if events != 8 {
+		t.Fatalf("got %d events, want 8 — stream did not survive past ReadTimeout", events)
+	}
+	if lived := time.Since(start); lived < 500*time.Millisecond {
+		t.Errorf("stream lived only %v; the test did not actually cross the 400ms ReadTimeout", lived)
+	}
+}
