@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json examples repro csv ci lint lint-baseline chaos chaos-fleet smoke-service clean
+.PHONY: all build test test-short test-race bench bench-json bench-check profile examples repro csv ci lint lint-baseline chaos chaos-fleet smoke-service clean
 
 all: build test
 
@@ -80,13 +80,42 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Refresh the committed performance baseline: run the quick-mode paper
-# benchmarks once each and convert the output to JSON (cmd/benchjson).
-# Each PR writes its own snapshot next to its predecessor's so regressions
-# are attributable. Compare against a branch with:
+# benchmarks and convert the output to JSON (cmd/benchjson). Three cold
+# runs per benchmark are recorded — single cold iterations are noisy on
+# small machines, and bench-check compares per-benchmark minima on both
+# sides, which is stable. Each PR writes its own snapshot next to its
+# predecessor's so regressions are attributable (override with
+# BENCH_OUT=BENCH_PR<n>.json). Compare against a branch with:
 #   jq -r '.benchmarks[].raw' BENCH_PR6.json > old.txt && benchstat old.txt new.txt
+BENCH_OUT ?= BENCH_PR9.json
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=1 . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Gate the paper benchmarks against the committed baseline. Two separate
+# thresholds: allocs/op is deterministic (identical across runs and
+# machines), so it sits tight at 1.10 — the load-bearing >10% regression
+# gate. ns/op is compared as min-of-3 cold runs on both sides, but on
+# small/shared machines even that minimum drifts ~1.3x run to run, so its
+# default absorbs measured same-code noise; tighten BENCH_THRESHOLD on
+# quiet dedicated hardware, or raise it (CI uses 3.0) where the hardware
+# differs from the baseline host's.
+BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_THRESHOLD ?= 1.60
+BENCH_ALLOC_THRESHOLD ?= 1.10
+bench-check:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -check $(BENCH_BASELINE) \
+			-threshold $(BENCH_THRESHOLD) -alloc-threshold $(BENCH_ALLOC_THRESHOLD)
+
+# CPU+heap profiles of a driver-loop-dominated run (fully oversubscribed
+# FIR), the workflow behind the §15 hot-path work:
+#   make profile && go tool pprof -top out/cpu.pprof
+PROFILE_ARGS ?= -workload fir -ovsp 400
+profile:
+	mkdir -p out
+	$(GO) run ./cmd/uvmsim $(PROFILE_ARGS) -cpuprofile out/cpu.pprof -memprofile out/mem.pprof
+	@echo "profiles written: out/cpu.pprof out/mem.pprof (go tool pprof -top out/cpu.pprof)"
 
 # Run every example end to end.
 examples:

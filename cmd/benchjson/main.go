@@ -1,11 +1,15 @@
 // Command benchjson converts `go test -bench` text output into a stable
-// JSON baseline. `make bench-json` pipes the quick-mode paper benchmarks
-// through it to produce BENCH_PR6.json, the committed performance baseline
-// future PRs diff against.
+// JSON baseline, and gates new runs against a committed one. `make
+// bench-json` pipes the quick-mode paper benchmarks through it to produce
+// BENCH_PR<n>.json, the committed performance baseline future PRs diff
+// against; `make bench-check` replays the benchmarks and fails if any
+// regressed past a threshold.
 //
 // Usage:
 //
-//	go test -bench=. -benchmem -benchtime=1x . | benchjson -out BENCH_PR6.json
+//	go test -bench=. -benchmem -benchtime=1x . | benchjson -out BENCH_PR9.json
+//	go test -bench=. -benchmem -benchtime=1x -count=3 . \
+//	    | benchjson -check BENCH_PR9.json -threshold 1.10
 //
 // Every benchmark result line is parsed into {name, procs, iterations,
 // metrics} with all value/unit pairs preserved (ns/op, B/op, allocs/op, and
@@ -13,6 +17,11 @@
 // "raw", so a benchstat-ready file is one jq away:
 //
 //	jq -r '.benchmarks[].raw' BENCH_PR6.json | benchstat old.txt -
+//
+// In -check mode, when a benchmark appears several times (-count>1) the
+// minimum per metric is used on both sides: the minimum answers "can this
+// code still run this fast", which is robust to scheduler noise that
+// single cold iterations on shared CI machines otherwise pick up.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -104,9 +114,129 @@ func Parse(r io.Reader) (Baseline, error) {
 	return out, sc.Err()
 }
 
+// mins collapses a baseline to the per-benchmark minimum of each metric
+// across repeated result lines (-count>1 emits one line per run).
+func mins(b Baseline) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(b.Benchmarks))
+	for _, bm := range b.Benchmarks {
+		m := out[bm.Name]
+		if m == nil {
+			m = make(map[string]float64, len(bm.Metrics))
+			out[bm.Name] = m
+		}
+		for unit, v := range bm.Metrics {
+			if old, ok := m[unit]; !ok || v < old {
+				m[unit] = v
+			}
+		}
+	}
+	return out
+}
+
+// nsFloor exempts benchmarks whose baseline wall time is below 1 ms from
+// the ns/op gate: a single cold sub-millisecond iteration measures the
+// scheduler more than the code. Their allocs/op stays gated.
+const nsFloor = 1e6
+
+// Check compares a fresh run against a committed baseline and returns one
+// human-readable failure per benchmark metric exceeding its threshold.
+// ns/op and allocs/op are gated with separate thresholds: allocation
+// counts are deterministic (identical across runs and machines), so
+// allocThreshold can sit tight at 1.10 even where wall-clock noise forces
+// nsThreshold wider. B/op and the custom paper metrics (table ratios,
+// traffic) are recorded but not thresholded — the reproduction tests pin
+// those. Benchmarks present in the baseline but absent from the run fail
+// too — a silently vanished benchmark is a lost regression gate, not a
+// win.
+func Check(baseline, current Baseline, nsThreshold, allocThreshold float64) []string {
+	base, cur := mins(baseline), mins(current)
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	thresholds := []struct {
+		unit string
+		max  float64
+	}{
+		{"ns/op", nsThreshold},
+		{"allocs/op", allocThreshold},
+	}
+	var failures []string
+	for _, name := range names {
+		bm, cm := base[name], cur[name]
+		if cm == nil {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		for _, th := range thresholds {
+			bv, ok := bm[th.unit]
+			if !ok || bv <= 0 {
+				continue
+			}
+			if th.unit == "ns/op" && bv < nsFloor {
+				// Sub-millisecond cold iterations are scheduler jitter,
+				// not signal; the allocs/op gate still covers them.
+				continue
+			}
+			cv, ok := cm[th.unit]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: %s missing from current run", name, th.unit))
+				continue
+			}
+			if cv > bv*th.max {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.0f -> %.0f (%.2fx > %.2fx allowed)",
+					name, th.unit, bv, cv, cv/bv, th.max))
+			}
+		}
+	}
+	return failures
+}
+
+func runCheck(checkPath string, nsThreshold, allocThreshold float64) {
+	data, err := os.ReadFile(checkPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	var baseline Baseline
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", checkPath, err)
+		os.Exit(2)
+	}
+	current, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(current.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	failures := Check(baseline, current, nsThreshold, allocThreshold)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (ns/op %.2fx, allocs/op %.2fx allowed):\n",
+			len(failures), checkPath, nsThreshold, allocThreshold)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within ns/op %.2fx, allocs/op %.2fx of %s\n",
+		len(mins(current)), nsThreshold, allocThreshold, checkPath)
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default stdout)")
+	checkPath := flag.String("check", "", "baseline JSON to gate against instead of emitting JSON")
+	threshold := flag.Float64("threshold", 1.10, "allowed ns/op ratio vs the -check baseline")
+	allocThreshold := flag.Float64("alloc-threshold", 1.10, "allowed allocs/op ratio vs the -check baseline")
 	flag.Parse()
+
+	if *checkPath != "" {
+		runCheck(*checkPath, *threshold, *allocThreshold)
+		return
+	}
 
 	base, err := Parse(os.Stdin)
 	if err != nil {

@@ -57,3 +57,87 @@ func TestParseRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+// bl builds a baseline from (name, ns, allocs) triples.
+func bl(entries ...[3]interface{}) Baseline {
+	var b Baseline
+	for _, e := range entries {
+		b.Benchmarks = append(b.Benchmarks, Benchmark{
+			Name: e[0].(string),
+			Metrics: map[string]float64{
+				"ns/op":     e[1].(float64),
+				"allocs/op": e[2].(float64),
+			},
+		})
+	}
+	return b
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	base := bl([3]interface{}{"BenchmarkA", 2000000.0, 100.0})
+	cur := bl([3]interface{}{"BenchmarkA", 2198000.0, 100.0})
+	if f := Check(base, cur, 1.10, 1.10); len(f) != 0 {
+		t.Errorf("unexpected failures: %v", f)
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	base := bl([3]interface{}{"BenchmarkA", 2000000.0, 100.0})
+	for _, cur := range []Baseline{
+		bl([3]interface{}{"BenchmarkA", 2402000.0, 100.0}), // ns/op blown
+		bl([3]interface{}{"BenchmarkA", 2000000.0, 121.0}), // allocs/op blown
+	} {
+		if f := Check(base, cur, 1.10, 1.10); len(f) != 1 {
+			t.Errorf("want 1 failure, got %v", f)
+		}
+	}
+}
+
+func TestCheckUsesMinAcrossCount(t *testing.T) {
+	// -count=3 emits one line per run; a single noisy outlier must not
+	// fail the gate as long as one run demonstrates baseline speed.
+	base := bl([3]interface{}{"BenchmarkA", 2000000.0, 100.0})
+	cur := bl(
+		[3]interface{}{"BenchmarkA", 5000000.0, 100.0},
+		[3]interface{}{"BenchmarkA", 1980000.0, 100.0},
+		[3]interface{}{"BenchmarkA", 3600000.0, 100.0},
+	)
+	if f := Check(base, cur, 1.10, 1.10); len(f) != 0 {
+		t.Errorf("unexpected failures: %v", f)
+	}
+}
+
+func TestCheckFailsOnMissingBenchmark(t *testing.T) {
+	base := bl(
+		[3]interface{}{"BenchmarkA", 2000000.0, 100.0},
+		[3]interface{}{"BenchmarkB", 2000000.0, 100.0},
+	)
+	cur := bl([3]interface{}{"BenchmarkA", 2000000.0, 100.0})
+	f := Check(base, cur, 1.10, 1.10)
+	if len(f) != 1 || !strings.Contains(f[0], "BenchmarkB") {
+		t.Errorf("want missing-BenchmarkB failure, got %v", f)
+	}
+}
+
+func TestCheckIgnoresNewBenchmarks(t *testing.T) {
+	base := bl([3]interface{}{"BenchmarkA", 2000000.0, 100.0})
+	cur := bl(
+		[3]interface{}{"BenchmarkA", 2000000.0, 100.0},
+		[3]interface{}{"BenchmarkNew", 9999000.0, 999.0},
+	)
+	if f := Check(base, cur, 1.10, 1.10); len(f) != 0 {
+		t.Errorf("unexpected failures: %v", f)
+	}
+}
+
+func TestCheckNsFloorExemptsTinyBenchmarks(t *testing.T) {
+	// A 67µs benchmark tripling its cold wall time is jitter, not a
+	// regression — but its alloc count regressing still fails.
+	base := bl([3]interface{}{"BenchmarkTiny", 67000.0, 100.0})
+	if f := Check(base, bl([3]interface{}{"BenchmarkTiny", 201000.0, 100.0}), 1.10, 1.10); len(f) != 0 {
+		t.Errorf("sub-ms ns/op jitter failed the gate: %v", f)
+	}
+	if f := Check(base, bl([3]interface{}{"BenchmarkTiny", 67000.0, 150.0}), 1.10, 1.10); len(f) != 1 {
+		t.Errorf("sub-ms alloc regression escaped the gate: %v", f)
+	}
+}

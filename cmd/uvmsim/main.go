@@ -11,6 +11,11 @@
 //	uvmsim -workload infer -batch 64 -discard -readmostly
 //	uvmsim -workload fir -ovsp 200 -json
 //	uvmsim -workload radixsort -ovsp 200 -faults seed=7,dma=0.05,unmap=0.01,fbcap=4
+//	uvmsim -workload fir -ovsp 400 -cpuprofile cpu.out -memprofile mem.out
+//
+// The -cpuprofile/-memprofile flags write pprof profiles of the run, the
+// entry point `make profile` uses to attribute driver hot-path time
+// (DESIGN.md §15).
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"uvmdiscard/internal/dnn"
@@ -50,8 +57,24 @@ func main() {
 		readMost = flag.Bool("readmostly", false, "infer/graph: advise SetReadMostly on weights/edges")
 		weights  = flag.String("weights", "18GiB", "infer: total served model weights")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. seed=7,dma=0.02,unmap=0.005,poison=0.001,fbcap=8,slow=pcie@1ms+5ms*3")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer writeMemProfile(*memprof)
+	}
 
 	sys, err := parseSystem(*system)
 	if err != nil {
@@ -210,6 +233,20 @@ func emitJSON(v map[string]any) {
 }
 
 func gb(n uint64) float64 { return float64(n) / 1e9 }
+
+// writeMemProfile snapshots the heap after a final GC so the profile shows
+// live retention, not transient garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fail(err)
+	}
+}
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "uvmsim: %v\n", err)

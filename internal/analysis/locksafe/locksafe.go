@@ -5,10 +5,18 @@
 //
 // A method counts as holding the lock when its body calls <recv>.mu.Lock
 // or <recv>.mu.RLock, or when its name ends in "Locked" (the convention
-// for helpers whose callers hold mu — e.g. metrics.Collector's
-// totalBytesLocked). This is exactly the race class PR 1 fixed in
-// metrics.Collector: getters reading counters while a run was still
-// writing them.
+// for helpers whose callers hold mu). This is exactly the race class PR 1
+// fixed in metrics.Collector: getters reading counters while a run was
+// still writing them.
+//
+// The positional convention doubles as the ownership annotation for
+// hot-path structs: fields declared *before* mu are unguarded by design
+// and must be individually safe (sync/atomic values, or immutable after
+// construction). metrics.Collector is the exemplar — its counters are
+// lock-free atomics ahead of mu, so driver-loop adds never lock, while
+// the composite state after mu (residency gauges, the API-time map)
+// keeps the mutex. Moving a field across the mu line is therefore a
+// semantic change this analyzer enforces, not a style choice.
 //
 // The pass is typed: the mutex field is recognized by its go/types
 // identity (so a renamed or dot-imported sync still counts), and guarded

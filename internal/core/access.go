@@ -90,22 +90,46 @@ func (d *Driver) GPUAccessOn(gpu int, blocks []*vaspace.Block, mode AccessMode, 
 func (d *Driver) CPUAccess(blocks []*vaspace.Block, mode AccessMode, now sim.Time) sim.Time {
 	cur := d.maybePoison(now)
 	for _, b := range blocks {
-		d.checkpoint("CPUAccess", cur)
-		cur = d.ensureCPUBlock(b, cur, metrics.CauseFault, mode.writes())
-		if mode.reads() {
-			d.record(cur, trace.CPURead, b, b.Bytes())
-		}
-		if mode.writes() {
-			d.record(cur, trace.CPUWrite, b, b.Bytes())
-			if isDuplicated(b) {
-				// A host write to a read-mostly duplicate collapses it:
-				// the GPU copy is dropped.
-				cur = d.collapseDupToCPU(b, cur)
-			}
-			b.Discarded, b.LazyDiscard = false, false
-		}
+		cur = d.cpuAccessBlock(b, mode, cur)
 	}
 	d.verify("CPUAccess")
+	return cur
+}
+
+// CPUAccessRange is CPUAccess over [off, off+length) of one allocation,
+// visiting the covered blocks by index instead of requiring the caller to
+// materialize a block list — the host-access path for large buffers, where
+// building a multi-thousand-entry []*Block per call dominated allocations.
+func (d *Driver) CPUAccessRange(a *vaspace.Alloc, off, length uint64, mode AccessMode, now sim.Time) (sim.Time, error) {
+	first, last, err := a.BlockSpan(off, length, false)
+	if err != nil {
+		return now, err
+	}
+	cur := d.maybePoison(now)
+	for i := first; i <= last; i++ {
+		cur = d.cpuAccessBlock(a.Block(i), mode, cur)
+	}
+	d.verify("CPUAccess")
+	return cur, nil
+}
+
+// cpuAccessBlock services one block of a host-side access: the shared body
+// of CPUAccess and CPUAccessRange.
+func (d *Driver) cpuAccessBlock(b *vaspace.Block, mode AccessMode, cur sim.Time) sim.Time {
+	d.checkpoint("CPUAccess", cur)
+	cur = d.ensureCPUBlock(b, cur, metrics.CauseFault, mode.writes())
+	if mode.reads() {
+		d.record(cur, trace.CPURead, b, b.Bytes())
+	}
+	if mode.writes() {
+		d.record(cur, trace.CPUWrite, b, b.Bytes())
+		if isDuplicated(b) {
+			// A host write to a read-mostly duplicate collapses it:
+			// the GPU copy is dropped.
+			cur = d.collapseDupToCPU(b, cur)
+		}
+		b.Discarded, b.LazyDiscard = false, false
+	}
 	return cur
 }
 
@@ -122,7 +146,8 @@ func (d *Driver) PrefetchToGPU(a *vaspace.Alloc, off, length uint64, now sim.Tim
 // PrefetchToGPUOn prefetches toward a specific GPU.
 func (d *Driver) PrefetchToGPUOn(gpu int, a *vaspace.Alloc, off, length uint64, now sim.Time) (sim.Time, error) {
 	d.checkpoint("PrefetchToGPU", now)
-	blocks, err := a.BlockRange(off, length, false)
+	blocks, err := a.AppendBlockRange(d.rangeScratch[:0], off, length, false)
+	d.rangeScratch = blocks[:0]
 	if err != nil {
 		return now, err
 	}
@@ -136,7 +161,8 @@ func (d *Driver) PrefetchToGPUOn(gpu int, a *vaspace.Alloc, off, length uint64, 
 
 // PrefetchToCPU migrates the covered blocks toward the host.
 func (d *Driver) PrefetchToCPU(a *vaspace.Alloc, off, length uint64, now sim.Time) (sim.Time, error) {
-	blocks, err := a.BlockRange(off, length, false)
+	blocks, err := a.AppendBlockRange(d.rangeScratch[:0], off, length, false)
+	d.rangeScratch = blocks[:0]
 	if err != nil {
 		return now, err
 	}

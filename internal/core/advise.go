@@ -54,7 +54,8 @@ func (a Advice) String() string {
 // metadata: it costs little itself and changes how later faults,
 // prefetches, and evictions treat the covered blocks.
 func (d *Driver) MemAdvise(a *vaspace.Alloc, off, length uint64, adv Advice, now sim.Time) (sim.Time, error) {
-	blocks, err := a.BlockRange(off, length, false)
+	blocks, err := a.AppendBlockRange(d.rangeScratch[:0], off, length, false)
+	d.rangeScratch = blocks[:0]
 	if err != nil {
 		return now, err
 	}
@@ -102,6 +103,7 @@ func (d *Driver) collapseDupToGPU(b *vaspace.Block, now sim.Time) sim.Time {
 	b.CPUHasPages = false
 	b.CPUMapped = false
 	b.CPUStale = false
+	d.touch(b)
 	return cur
 }
 
@@ -120,5 +122,6 @@ func (d *Driver) collapseDupToCPU(b *vaspace.Block, now sim.Time) sim.Time {
 	b.GPUMapped = false
 	b.Residency = vaspace.CPUResident
 	b.CPUMapped = true
+	d.touch(b)
 	return cur
 }

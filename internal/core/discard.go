@@ -30,7 +30,8 @@ func (d *Driver) discard(a *vaspace.Alloc, off, length uint64, now sim.Time, laz
 	// The driver prefers whole 2 MiB regions and ignores partial ones to
 	// avoid splitting big mappings (§5.4); the AllowPartialDiscard
 	// ablation splits instead.
-	whole, err := a.BlockRange(off, length, true)
+	whole, err := a.AppendBlockRange(d.rangeScratch[:0], off, length, true)
+	d.rangeScratch = whole[:0]
 	if err != nil {
 		return now, err
 	}
@@ -102,6 +103,7 @@ func (d *Driver) discardBlock(b *vaspace.Block, now sim.Time, lazy bool) (sim.Ti
 			dev.PushFree(c)
 		}
 	}
+	d.touch(b)
 	return cur, true
 }
 
@@ -112,7 +114,8 @@ func (d *Driver) discardBlock(b *vaspace.Block, now sim.Time, lazy bool) (sim.Ti
 // accumulated partial discards kill a whole block, a DiscardLazy call must
 // still defer the unmap to reclamation rather than paying it eagerly.
 func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now sim.Time, lazy bool) sim.Time {
-	blocks, err := a.BlockRange(off, length, false)
+	blocks, err := a.AppendBlockRange(d.edgeScratch[:0], off, length, false)
+	d.edgeScratch = blocks[:0]
 	if err != nil || len(blocks) == 0 {
 		return now
 	}
@@ -154,6 +157,7 @@ func (d *Driver) discardPartialEdges(a *vaspace.Alloc, off, length uint64, now s
 			cur, _ = d.discardBlock(b, cur, lazy)
 		} else {
 			b.LivePages = live
+			d.touch(b)
 		}
 	}
 	return cur

@@ -86,7 +86,11 @@ type Driver struct {
 	peer *sim.Engine
 
 	deviceAllocBytes units.Size // non-UVM cudaMalloc'd bytes (chunks held)
-	deviceChunks     map[*gpudev.Chunk]struct{}
+	// deviceChunkCount tracks how many chunks those bytes pin. Membership
+	// itself lives on the chunks (gpudev.Chunk.DeviceBuffer), so hot-path
+	// ownership tests are a field load; the count is what the sanitizer's
+	// O(1) conservation check compares against detached chunks.
+	deviceChunkCount int
 
 	// opCount numbers the public driver operations for the sanitizer's
 	// sampling stride (sanitizer.go). A Driver is single-threaded per
@@ -95,7 +99,43 @@ type Driver struct {
 	// pubTick counts checkpoints for the residency-gauge publishing stride
 	// (see checkpoint / PublishResidency). Same single-threaded rule.
 	pubTick uint64
+
+	// Scratch buffers reused across driver operations so the hot path does
+	// not allocate per access. The rules (DESIGN.md §15): a scratch is
+	// valid only for the duration of one public driver operation, is
+	// always re-sliced to [:0] before use, and no callee may retain a
+	// reference past the operation. rangeScratch backs the block lists the
+	// CUDA-facing entry points build; edgeScratch backs discard's partial-
+	// edge list, which must coexist with the whole-block list of the same
+	// call; runScratch backs the per-run block list of coalesced
+	// transfers in ensureGPUBlocks (only materialized when tracing).
+	rangeScratch []*vaspace.Block
+	edgeScratch  []*vaspace.Block
+	runScratch   []*vaspace.Block
+
+	// Incremental-sanitizer state (sanitizer.go): blocks whose structural
+	// state changed since the last check, and how many incremental checks
+	// have run since the last full audit. Only maintained when
+	// p.CheckInvariants is on.
+	touched         []*vaspace.Block
+	checksSinceFull int
 }
+
+// scratchCap is the initial capacity of the driver's scratch block slices:
+// 256 blocks covers a 512 MiB operation range, comfortably beyond the
+// prefetch/discard windows the workloads issue, at 2 KiB per slice. Larger
+// ranges still work — the slice grows once and keeps the larger backing.
+const scratchCap = 256
+
+// Default interconnects are immutable after construction (pcie.Link has no
+// setters), so every driver built without an explicit link shares one
+// instance instead of rebuilding it per run.
+var (
+	// NVSwitch-class fabric: "the GPU-to-GPU remote access bandwidth is
+	// limited to 600 GB/s" (§2.3).
+	sharedDefaultPeerLink = pcie.NewLink(pcie.GenNVLink, 600e9, sim.Micros(4))
+	sharedDefaultLink     = pcie.Preset(pcie.Gen4)
+)
 
 var (
 	forceCheckInvariants      bool
@@ -122,6 +162,9 @@ func New(cfg Config) (*Driver, error) {
 	if forceCheckInvariants && !p.CheckInvariants {
 		p.CheckInvariants = true
 		p.CheckInvariantsEvery = forceCheckInvariantsEvery
+		// Test mode wants maximal detection promptness: every check is a
+		// full sweep, never the incremental pass.
+		p.FullAuditEvery = 1
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -141,13 +184,11 @@ func New(cfg Config) (*Driver, error) {
 	}
 	peerLink := cfg.PeerLink
 	if peerLink == nil {
-		// NVSwitch-class fabric: "the GPU-to-GPU remote access bandwidth
-		// is limited to 600 GB/s" (§2.3).
-		peerLink = pcie.NewLink(pcie.GenNVLink, 600e9, sim.Micros(4))
+		peerLink = sharedDefaultPeerLink
 	}
 	link := cfg.Link
 	if link == nil {
-		link = pcie.Preset(pcie.Gen4)
+		link = sharedDefaultLink
 	}
 	host := cfg.Host
 	if host == nil {
@@ -159,7 +200,11 @@ func New(cfg Config) (*Driver, error) {
 	}
 	costs := cfg.Costs
 	if costs == nil {
-		costs = DefaultAPICosts()
+		// Cost curves are immutable after construction, so every driver
+		// with default costs shares one instance instead of rebuilding the
+		// Table 2 interpolation tables per run (visible in alloc profiles
+		// of experiment sweeps, which build thousands of drivers).
+		costs = sharedDefaultCosts
 	}
 	var fi *faultinject.Injector
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
@@ -169,20 +214,26 @@ func New(cfg Config) (*Driver, error) {
 		}
 	}
 	return &Driver{
-		devs:         devs,
-		host:         host,
-		link:         link,
-		peerLink:     peerLink,
-		space:        vaspace.NewSpace(),
-		m:            m,
-		tr:           cfg.Trace,
-		p:            p,
-		costs:        costs,
-		fi:           fi,
-		ctl:          cfg.Control,
-		dma:          sim.NewEngine("dma"),
-		peer:         sim.NewEngine("peer-fabric"),
-		deviceChunks: make(map[*gpudev.Chunk]struct{}),
+		devs:     devs,
+		host:     host,
+		link:     link,
+		peerLink: peerLink,
+		space:    vaspace.NewSpace(),
+		m:        m,
+		tr:       cfg.Trace,
+		p:        p,
+		costs:    costs,
+		fi:       fi,
+		ctl:      cfg.Control,
+		dma:      sim.NewEngine("dma"),
+		peer:     sim.NewEngine("peer-fabric"),
+		// Pre-size the range scratch for a typical prefetch/discard window
+		// (scratchCap blocks) so per-driver first use does not replay the
+		// whole append growth chain — experiment sweeps build thousands of
+		// short-lived drivers and pay that chain once each otherwise.
+		// edgeScratch and runScratch stay nil: most runs never take the
+		// partial-edge or traced paths that fill them.
+		rangeScratch: make([]*vaspace.Block, 0, scratchCap),
 	}, nil
 }
 
@@ -292,7 +343,8 @@ func (d *Driver) FreeManaged(a *vaspace.Alloc) error {
 	if a.Freed() {
 		return fmt.Errorf("core: free of already-freed %s", a.Name())
 	}
-	for _, b := range a.Blocks() {
+	for i := 0; i < a.NumBlocks(); i++ {
+		b := a.Block(i)
 		if b.Chunk != nil {
 			dev := d.devs[b.GPUIndex]
 			dev.Detach(b.Chunk)
@@ -350,8 +402,9 @@ func (d *Driver) MallocDevice(size units.Size) ([]*gpudev.Chunk, error) {
 		chunks[i] = c
 	}
 	d.deviceAllocBytes += units.Size(n) * units.BlockSize
+	d.deviceChunkCount += n
 	for _, c := range chunks {
-		d.deviceChunks[c] = struct{}{}
+		c.DeviceBuffer = true
 	}
 	d.verify("MallocDevice")
 	return chunks, nil
@@ -363,10 +416,11 @@ func (d *Driver) MallocDevice(size units.Size) ([]*gpudev.Chunk, error) {
 // corrupt the free queue and underflow the byte counter.
 func (d *Driver) FreeDevice(chunks []*gpudev.Chunk) {
 	for _, c := range chunks {
-		if _, tracked := d.deviceChunks[c]; !tracked {
+		if !c.DeviceBuffer {
 			continue
 		}
-		delete(d.deviceChunks, c)
+		c.DeviceBuffer = false
+		d.deviceChunkCount--
 		d.devs[0].PushFree(c)
 		d.deviceAllocBytes -= units.BlockSize
 	}

@@ -106,6 +106,7 @@ func (d *Driver) degradeToHost(b *vaspace.Block, now sim.Time) sim.Time {
 	d.m.AddTransfer(metrics.H2D, metrics.CauseRemote, uint64(b.Bytes()))
 	d.m.AddDegraded(uint64(b.Bytes()))
 	b.Degraded = true
+	d.touch(b)
 	return end
 }
 
@@ -221,5 +222,6 @@ func (d *Driver) poisonChunk(gpu int, c *gpudev.Chunk, now sim.Time) sim.Time {
 	b.RemoteAccesses = 0
 	b.LivePages = 0
 	dev.PushPoisoned(c)
+	d.touch(b)
 	return cur
 }

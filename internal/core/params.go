@@ -90,6 +90,15 @@ type Params struct {
 	// while still bracketing any corruption to a small operation window.
 	CheckInvariantsEvery int
 
+	// FullAuditEvery escalates every Nth sanitizer check from the
+	// incremental O(touched blocks) pass to the full O(device) sweep
+	// (sanitizer.go). Values <= 1 make every check a full sweep — the
+	// pre-PR 9 behavior, which the seeded-corruption tests rely on for
+	// prompt detection. DefaultParams picks a stride that keeps stride-1
+	// checking affordable while bounding how long device-wide drift can
+	// hide.
+	FullAuditEvery int
+
 	// PanicOnSilentReuse escalates the §5.2 lazy-discard protocol hazard
 	// from silently-modeled (the paper's semantics: the driver never
 	// observes the access, and a later reclaim loses the data) to an
@@ -124,11 +133,18 @@ type Params struct {
 
 // DefaultParams returns the configuration that reproduces the paper's
 // system.
+// defaultEvictionOrder backs every DefaultParams copy. It is treated as
+// immutable: all call sites override EvictionOrder by assigning a fresh
+// slice, never by writing elements, so the copies can share one backing
+// array instead of allocating one per driver (experiment sweeps build
+// thousands of drivers).
+var defaultEvictionOrder = []metrics.EvictSource{
+	metrics.EvictUnused, metrics.EvictDiscarded, metrics.EvictLRU,
+}
+
 func DefaultParams() Params {
 	return Params{
-		EvictionOrder: []metrics.EvictSource{
-			metrics.EvictUnused, metrics.EvictDiscarded, metrics.EvictLRU,
-		},
+		EvictionOrder:           defaultEvictionOrder,
 		PreparedTracking:        true,
 		FaultBatchBlocks:        16,
 		PrefetchRecencyPerBlock: sim.Micros(0.4),
@@ -138,6 +154,7 @@ func DefaultParams() Params {
 		SplitTLBPenalty:         sim.Micros(8),
 		MaxMigrateRetries:       4,
 		MigrateRetryBackoff:     sim.Micros(25),
+		FullAuditEvery:          64,
 	}
 }
 
@@ -177,6 +194,9 @@ func (p *Params) Validate() error {
 	}
 	if p.CheckInvariantsEvery < 0 {
 		return fmt.Errorf("core: negative sanitizer stride")
+	}
+	if p.FullAuditEvery < 0 {
+		return fmt.Errorf("core: negative sanitizer full-audit stride")
 	}
 	return nil
 }

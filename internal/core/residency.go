@@ -113,6 +113,7 @@ func (d *Driver) reclaimDiscarded(c *gpudev.Chunk, now sim.Time) sim.Time {
 	vb.CPUHasPages, vb.CPUPinned, vb.CPUStale = false, false, false
 	vb.Discarded, vb.LazyDiscard = false, false
 	vb.Degraded = false
+	d.touch(vb)
 	return cur
 }
 
@@ -139,6 +140,7 @@ func (d *Driver) evictUsed(c *gpudev.Chunk, now sim.Time) sim.Time {
 		vb.Residency = vaspace.CPUResident
 		vb.Chunk = nil
 		vb.RemoteAccesses = 0
+		d.touch(vb)
 		return cur
 	}
 
@@ -171,6 +173,7 @@ func (d *Driver) evictUsed(c *gpudev.Chunk, now sim.Time) sim.Time {
 	vb.CPUStale = false
 	vb.RemoteAccesses = 0
 	vb.Chunk = nil
+	d.touch(vb)
 	return cur
 }
 
@@ -302,9 +305,13 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 	}
 
 	// State transitions + data movement, with H2D coalescing across
-	// consecutive full-block transfers.
+	// consecutive full-block transfers. Per-block bookkeeping (map counts,
+	// trace records) amortizes into the same per-run flush the DMA
+	// reservation already uses; the run's block list is only materialized
+	// when a trace recorder needs it, via the driver's run scratch.
 	var runBytes units.Size
-	var runBlocks []*vaspace.Block
+	var runCount int
+	d.runScratch = d.runScratch[:0] // may hold stale blocks after an aborted run
 	flush := func() {
 		if runBytes == 0 {
 			return
@@ -312,10 +319,12 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 		_, end := d.dma.Reserve(cur, d.scaleDMA(d.link.TransferTime(uint64(runBytes)), cur))
 		cur = end
 		d.m.AddTransfer(metrics.H2D, cause, uint64(runBytes))
-		for _, rb := range runBlocks {
+		d.m.AddMap(runCount)
+		for _, rb := range d.runScratch {
 			d.record(cur, trace.TransferH2D, rb, rb.Bytes())
 		}
-		runBytes, runBlocks = 0, nil
+		runBytes, runCount = 0, 0
+		d.runScratch = d.runScratch[:0]
 	}
 
 	for _, b := range blocks {
@@ -409,18 +418,22 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 				n, t := d.migrationCost(b)
 				_, cur = d.dma.Reserve(cur, d.scaleDMA(t, cur))
 				d.m.AddTransfer(metrics.H2D, cause, uint64(n))
+				d.m.AddMap(1)
 				d.record(cur, trace.TransferH2D, b, n)
 				chunk.PreparedPages = units.PagesPerBlock // live pages moved, rest zeroed below cost
 			} else {
+				// PTE establishment for bulk migrations is pipelined with
+				// the copy engine (unlike recovery remaps, which sit on the
+				// critical path), so only the bookkeeping is counted — and
+				// that bookkeeping amortizes into the run's flush.
 				runBytes += b.Bytes()
-				runBlocks = append(runBlocks, b)
+				runCount++
+				if d.tr != nil {
+					d.runScratch = append(d.runScratch, b)
+				}
 				chunk.PreparedPages = units.PagesPerBlock
 			}
 			b.GPUIndex = gpu
-			// PTE establishment for bulk migrations is pipelined with the
-			// copy engine (unlike recovery remaps, which sit on the
-			// critical path), so only the bookkeeping is counted.
-			d.m.AddMap(1)
 			// Host pages stay pinned while the block is GPU-mapped (§2.2).
 			if !b.CPUPinned {
 				d.host.Pin(b.Bytes())
@@ -439,6 +452,7 @@ func (d *Driver) ensureGPUBlocks(blocks []*vaspace.Block, now sim.Time, cause me
 			b.Degraded = false
 			b.RemoteAccesses = 0
 			dev.PushUsed(b.Chunk)
+			d.touch(b)
 		}
 	}
 	flush()
@@ -470,6 +484,7 @@ func (d *Driver) recoverDiscarded(b *vaspace.Block, now sim.Time, viaFault bool)
 	c.NeedsUnmapOnReclaim = false
 	b.Discarded, b.LazyDiscard = false, false
 	dev.PushUsed(c)
+	d.touch(b)
 	return cur
 }
 
@@ -509,6 +524,7 @@ func (d *Driver) migratePeer(b *vaspace.Block, gpu int, now sim.Time) (sim.Time,
 	b.GPUMapped = true
 	b.RemoteAccesses = 0
 	d.devs[gpu].PushUsed(chunk)
+	d.touch(b)
 	return cur, nil
 }
 
@@ -546,6 +562,7 @@ func (d *Driver) populateZeroed(b *vaspace.Block, gpu int, now sim.Time) (sim.Ti
 	b.CPUMapped = false
 	b.Degraded = false
 	dev.PushUsed(chunk)
+	d.touch(b)
 	d.record(cur, trace.ZeroFill, b, b.Bytes())
 	return cur, nil
 }
@@ -557,6 +574,7 @@ func (d *Driver) populateZeroed(b *vaspace.Block, gpu int, now sim.Time) (sim.Ti
 // migrated (the write-intent collapse happens in CPUAccess).
 func (d *Driver) ensureCPUBlock(b *vaspace.Block, now sim.Time, cause metrics.Cause, forWrite bool) sim.Time {
 	cur := now
+	d.touch(b)
 	switch b.Residency {
 	case vaspace.CPUResident:
 		if !b.CPUMapped {

@@ -46,9 +46,21 @@ func (d *Driver) CheckNow() error {
 	return d.checkBlocks()
 }
 
-// verify is the per-operation hook: a full sweep (subject to the sampling
-// stride) that panics on the first violation, labeled with the operation
-// that exposed it.
+// maxTouchedBacklog bounds the incremental sanitizer's touched-block list;
+// past this, an operation has churned so much state that a full sweep is
+// both safer and barely more expensive, so verify escalates to one.
+const maxTouchedBacklog = 4096
+
+// verify is the per-operation hook, subject to the sampling stride. When a
+// check is due it is usually *incremental* — O(blocks touched since the
+// last check) instead of O(device): every touched block is re-validated
+// structurally and chunk conservation is checked from the queues' O(1)
+// size counters. Every Params.FullAuditEvery'th check (and whenever the
+// touched backlog overflows) escalates to the full CheckNow sweep, so
+// drift the incremental pass cannot see — e.g. corruption of a block the
+// driver never touched — is still caught, just later. FullAuditEvery <= 1
+// keeps the old full-sweep-every-check behavior. Violations panic, labeled
+// with the operation that exposed them.
 func (d *Driver) verify(op string) {
 	if !d.p.CheckInvariants {
 		return
@@ -57,9 +69,67 @@ func (d *Driver) verify(op string) {
 	if stride := d.p.CheckInvariantsEvery; stride > 1 && d.opCount%uint64(stride) != 0 {
 		return
 	}
-	if err := d.CheckNow(); err != nil {
+	var err error
+	if d.p.FullAuditEvery <= 1 || d.checksSinceFull+1 >= d.p.FullAuditEvery || len(d.touched) > maxTouchedBacklog {
+		err = d.CheckNow()
+		d.checksSinceFull = 0
+	} else {
+		err = d.checkIncremental()
+		d.checksSinceFull++
+	}
+	d.touched = d.touched[:0]
+	if err != nil {
 		panic(fmt.Sprintf("core: after %s: %v", op, err))
 	}
+}
+
+// touch records a block whose structural state an operation changed, for
+// the incremental sanitizer. A single branch when checks are off, so hot
+// paths call it unconditionally. Duplicates are fine (checkBlock is
+// idempotent); the list is cleared whenever a check actually runs.
+func (d *Driver) touch(b *vaspace.Block) {
+	if !d.p.CheckInvariants {
+		return
+	}
+	d.touched = append(d.touched, b)
+}
+
+// checkIncremental validates only state the driver reports having changed
+// since the last check, plus O(1)-per-device conservation:
+//
+//   - every queue's size counter sums to capacity minus detached chunks,
+//     and detached chunks are exactly the cudaMalloc'd device buffers
+//     (deviceChunkCount on GPU 0, zero on peers);
+//   - deviceAllocBytes agrees with deviceChunkCount;
+//   - every touched block passes the same per-block structural rules the
+//     full sweep applies (checkBlock), including its chunk back-pointer.
+//
+// It deliberately skips the O(device) chunk walk and the O(live bytes)
+// host-accounting reconciliation; the periodic full audit covers those.
+func (d *Driver) checkIncremental() error {
+	for gpu, dev := range d.devs {
+		want := 0
+		if gpu == 0 {
+			want = d.deviceChunkCount
+		}
+		if got := dev.TotalChunks() - dev.QueuedChunks(); got != want {
+			return fmt.Errorf("sanitizer: GPU %d conservation broken: %d detached chunks but %d device-buffer chunks tracked",
+				gpu, got, want)
+		}
+	}
+	if want := units.Size(d.deviceChunkCount) * units.BlockSize; d.deviceAllocBytes != want {
+		return fmt.Errorf("sanitizer: deviceAllocBytes %s but %d device-buffer chunks (%s)",
+			units.Format(d.deviceAllocBytes), d.deviceChunkCount, units.Format(want))
+	}
+	for _, b := range d.touched {
+		if b.Alloc.Freed() {
+			continue // freed since it was touched; the free reset its state
+		}
+		if err := d.checkBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // checkChunks validates one device's chunks from the physical side:
@@ -96,6 +166,11 @@ func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
 		case gpudev.QueueNone:
 			detached = append(detached, c)
 		}
+		if c.DeviceBuffer && c.Queue() != gpudev.QueueNone {
+			err = fmt.Errorf("sanitizer: GPU %d chunk %d is marked as a device buffer but sits on the %v queue",
+				gpu, c.ID(), c.Queue())
+			return false
+		}
 		if c.NeedsUnmapOnReclaim {
 			b, ok := c.Owner.(*vaspace.Block)
 			if c.Queue() != gpudev.QueueDiscarded || !ok || !b.LazyDiscard {
@@ -118,8 +193,8 @@ func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
 			return fmt.Errorf("sanitizer: GPU %d chunk %d is on no queue and is not a device buffer (peer GPUs have none)",
 				gpu, c.ID())
 		}
-		if _, ok := d.deviceChunks[c]; !ok {
-			return fmt.Errorf("sanitizer: GPU 0 chunk %d is on no queue and not tracked as a device buffer: leaked",
+		if !c.DeviceBuffer {
+			return fmt.Errorf("sanitizer: GPU 0 chunk %d is on no queue and not marked as a device buffer: leaked",
 				c.ID())
 		}
 		if c.Owner != nil {
@@ -127,13 +202,13 @@ func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
 		}
 	}
 	if gpu == 0 {
-		if len(detached) != len(d.deviceChunks) {
+		if len(detached) != d.deviceChunkCount {
 			return fmt.Errorf("sanitizer: GPU 0 has %d detached chunks but %d tracked device-buffer chunks",
-				len(detached), len(d.deviceChunks))
+				len(detached), d.deviceChunkCount)
 		}
-		if want := units.Size(len(d.deviceChunks)) * units.BlockSize; d.deviceAllocBytes != want {
+		if want := units.Size(d.deviceChunkCount) * units.BlockSize; d.deviceAllocBytes != want {
 			return fmt.Errorf("sanitizer: deviceAllocBytes %s but %d device-buffer chunks (%s)",
-				units.Format(d.deviceAllocBytes), len(d.deviceChunks), units.Format(want))
+				units.Format(d.deviceAllocBytes), d.deviceChunkCount, units.Format(want))
 		}
 	}
 
@@ -154,7 +229,8 @@ func (d *Driver) checkChunks(gpu int, dev *gpudev.Device) error {
 func (d *Driver) checkBlocks() error {
 	var wantResident, wantPinned units.Size
 	for _, a := range d.space.Live() {
-		for _, b := range a.Blocks() {
+		for i := 0; i < a.NumBlocks(); i++ {
+			b := a.Block(i)
 			if err := d.checkBlock(b); err != nil {
 				return err
 			}

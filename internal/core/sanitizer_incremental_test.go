@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/units"
+)
+
+// These tests pin the incremental sanitizer's contract (§15 of DESIGN.md):
+// corruption on a block an operation touches is caught by the O(touched)
+// incremental pass itself — no full audit needed — while corruption on
+// state no operation touches is invisible to it and is picked up by the
+// next scheduled full audit.
+
+// incrDriver builds a sanitized driver with stride 1 and the given full-
+// audit period, so every operation checks and the incremental/full split
+// is the only variable.
+func incrDriver(t *testing.T, fullAuditEvery int) *Driver {
+	t.Helper()
+	p := DefaultParams()
+	p.CheckInvariants = true
+	p.CheckInvariantsEvery = 1
+	p.FullAuditEvery = fullAuditEvery
+	d, err := New(Config{GPU: gpudev.Generic(8 * units.BlockSize), Params: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// expectPanic runs fn and returns the recovered panic message ("" if none).
+func expectPanic(fn func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = r.(string)
+		}
+	}()
+	fn()
+	return ""
+}
+
+func TestIncrementalSanitizerCatchesTouchedCorruption(t *testing.T) {
+	// A full audit would only ever run after ~2^30 checks: whatever the
+	// next operation's verify catches, the incremental pass caught.
+	d := incrDriver(t, 1<<30)
+	a := mustAlloc(t, d, "a", units.BlockSize)
+	b := mustAlloc(t, d, "b", units.BlockSize)
+	gpuAccess(t, d, a.Blocks(), Write)
+	gpuAccess(t, d, b.Blocks(), Write)
+
+	// Break a's chunk back-pointer. Discard touches exactly that block, so
+	// its verify re-validates it incrementally.
+	a.Block(0).Chunk.Owner = b.Block(0)
+	msg := expectPanic(func() {
+		if _, err := d.Discard(a, 0, uint64(units.BlockSize), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if msg == "" {
+		t.Fatal("incremental check missed corruption on a touched block")
+	}
+	if !strings.Contains(msg, "whose owner is") {
+		t.Errorf("panic %q does not name the back-pointer violation", msg)
+	}
+}
+
+func TestIncrementalSanitizerDefersUntouchedCorruption(t *testing.T) {
+	// Corruption on a block no subsequent operation touches: invisible to
+	// the incremental pass by design.
+	d := incrDriver(t, 1<<30)
+	a := mustAlloc(t, d, "a", units.BlockSize)
+	b := mustAlloc(t, d, "b", units.BlockSize)
+	gpuAccess(t, d, a.Blocks(), Write)
+	a.Block(0).Chunk.NeedsUnmapOnReclaim = true
+
+	for i := 0; i < 10; i++ {
+		if msg := expectPanic(func() {
+			d.CPUAccess(b.Blocks(), Read, 0)
+		}); msg != "" {
+			t.Fatalf("incremental-only check flagged untouched corruption: %s", msg)
+		}
+	}
+	// The blind spot is bounded: an explicit full sweep still finds it.
+	if err := d.CheckNow(); err == nil {
+		t.Fatal("full sweep missed the seeded stray deferred-unmap marker")
+	}
+}
+
+func TestIncrementalSanitizerFullAuditCatchesUp(t *testing.T) {
+	// With a small full-audit period the same untouched corruption is
+	// caught within FullAuditEvery operations.
+	const every = 4
+	d := incrDriver(t, every)
+	a := mustAlloc(t, d, "a", units.BlockSize)
+	b := mustAlloc(t, d, "b", units.BlockSize)
+	gpuAccess(t, d, a.Blocks(), Write)
+	a.Block(0).Chunk.NeedsUnmapOnReclaim = true
+
+	caught := false
+	for i := 0; i < every; i++ {
+		if msg := expectPanic(func() {
+			d.CPUAccess(b.Blocks(), Read, 0)
+		}); msg != "" {
+			caught = true
+			break
+		}
+	}
+	if !caught {
+		t.Fatalf("no full audit ran within %d checks (FullAuditEvery=%d)", every, every)
+	}
+}

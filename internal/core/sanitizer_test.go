@@ -204,6 +204,10 @@ func TestSanitizerSamplingStride(t *testing.T) {
 	p := DefaultParams()
 	p.CheckInvariants = true
 	p.CheckInvariantsEvery = 4
+	// The corruption below hits a block no operation touches, which only a
+	// full sweep can see; pin every sample point to a full audit so the
+	// test isolates the CheckInvariantsEvery stride.
+	p.FullAuditEvery = 1
 	d, err := New(Config{GPU: gpudev.Generic(8 * units.BlockSize), Params: &p})
 	if err != nil {
 		t.Fatal(err)

@@ -39,6 +39,16 @@ type Context struct {
 	computes []*sim.Engine
 	streams  []*Stream
 	rng      *sim.RNG
+
+	// Scratch block slices reused across kernel launches and host
+	// accesses, so translating an access range to its block list does not
+	// allocate per call (the context, like the driver, is single-threaded
+	// per run). blockScratch holds the current access's in-order blocks;
+	// orderScratch holds the shuffled visit order of a Scatter access and
+	// is re-copied from blockScratch each pass. Neither survives past the
+	// driver call that consumes it.
+	blockScratch []*vaspace.Block
+	orderScratch []*vaspace.Block
 }
 
 // NewContext builds a runtime context from a driver configuration.
@@ -49,13 +59,24 @@ func NewContext(cfg core.Config) (*Context, error) {
 	}
 	computes := make([]*sim.Engine, drv.NumGPUs())
 	for i := range computes {
-		computes[i] = sim.NewEngine(fmt.Sprintf("gpu%d-compute", i))
+		name := "gpu0-compute"
+		if i > 0 {
+			name = fmt.Sprintf("gpu%d-compute", i)
+		}
+		computes[i] = sim.NewEngine(name)
 	}
+	// Pre-size the block scratch for a typical kernel-access window so a
+	// fresh context's first launches do not replay the append growth chain
+	// (experiment sweeps build one context per table cell). orderScratch
+	// stays nil: only Scatter kernels fill it.
+	const scratchCap = 256
 	return &Context{
-		drv:      drv,
-		clock:    sim.NewClock(),
-		computes: computes,
-		rng:      sim.NewRNG(1),
+		drv:          drv,
+		clock:        sim.NewClock(),
+		computes:     computes,
+		streams:      make([]*Stream, 0, 4),
+		rng:          sim.NewRNG(1),
+		blockScratch: make([]*vaspace.Block, 0, scratchCap),
 	}, nil
 }
 
@@ -163,11 +184,10 @@ func (b *Buffer) HostRead(off, length units.Size) error {
 }
 
 func (b *Buffer) hostAccess(off, length units.Size, mode core.AccessMode) error {
-	blocks, err := b.alloc.BlockRange(off, length, false)
+	done, err := b.ctx.drv.CPUAccessRange(b.alloc, off, length, mode, b.ctx.clock.Now())
 	if err != nil {
 		return err
 	}
-	done := b.ctx.drv.CPUAccess(blocks, mode, b.ctx.clock.Now())
 	b.ctx.clock.WaitUntil(done) // host accesses are synchronous
 	return nil
 }

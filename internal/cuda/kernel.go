@@ -67,7 +67,8 @@ func (s *Stream) Launch(k Kernel) error {
 		if length == 0 {
 			length = acc.Buf.Size() - acc.Offset
 		}
-		blocks, err := acc.Buf.alloc.BlockRange(acc.Offset, length, false)
+		blocks, err := acc.Buf.alloc.AppendBlockRange(s.ctx.blockScratch[:0], acc.Offset, length, false)
+		s.ctx.blockScratch = blocks[:0]
 		if err != nil {
 			return fmt.Errorf("cuda: kernel %s: %w", k.Name, err)
 		}
@@ -78,7 +79,8 @@ func (s *Stream) Launch(k Kernel) error {
 		for p := 0; p < passes; p++ {
 			order := blocks
 			if acc.Scatter {
-				order = shuffleBlocks(s.ctx.rng, blocks)
+				s.ctx.orderScratch = shuffleBlocksInto(s.ctx.rng, s.ctx.orderScratch[:0], blocks)
+				order = s.ctx.orderScratch
 			}
 			done, err := s.ctx.drv.GPUAccessOn(k.GPU, order, acc.Mode, cur)
 			if err != nil {
@@ -98,12 +100,18 @@ func (s *Stream) Launch(k Kernel) error {
 	return nil
 }
 
-func shuffleBlocks(rng *sim.RNG, blocks []*vaspace.Block) []*vaspace.Block {
-	out := make([]*vaspace.Block, len(blocks))
-	for i, p := range rng.Perm(len(blocks)) {
-		out[i] = blocks[p]
+// shuffleBlocksInto appends src to dst and Fisher-Yates-shuffles it in
+// place, drawing the exact Intn sequence RNG.Perm draws — applying the same
+// swaps to a copy of src yields element-for-element the order the old
+// Perm-indexed shuffle produced, without allocating the index array or a
+// fresh output slice per pass.
+func shuffleBlocksInto(rng *sim.RNG, dst, src []*vaspace.Block) []*vaspace.Block {
+	dst = append(dst, src...)
+	for i := len(dst) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }
 
 // ComputeForFlops converts a floating-point operation count into a compute

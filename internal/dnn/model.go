@@ -60,6 +60,44 @@ type ModelSpec struct {
 	// because the CUDNN library switches to a different algorithm that
 	// uses a different size of workspace buffer." Zero value disables it.
 	AlgoSwitch AlgoSwitch
+
+	// derived memoizes the per-layer name strings built from Layers; see
+	// names().
+	derived []layerNames
+}
+
+// layerNames holds the buffer and kernel name strings derived from one
+// layer's name ("out-conv1_1", "fwd-conv1_1", …). A training run builds
+// every one of them for every layer, and one ModelSpec typically serves a
+// whole experiment table of runs, so the concatenations are memoized on the
+// spec instead of being rebuilt per run.
+type layerNames struct {
+	Out, Stash, W, Ws          string
+	Fwd, Bwd, Upd, Refwd, Init string
+}
+
+// names returns the memoized per-layer derived names, building them on
+// first use. Layer names must not change afterwards; first use is not
+// concurrency-safe (runners construct specs before spawning workers).
+func (m *ModelSpec) names() []layerNames {
+	if m.derived == nil {
+		d := make([]layerNames, len(m.Layers))
+		for i, l := range m.Layers {
+			d[i] = layerNames{
+				Out:   "out-" + l.Name,
+				Stash: "stash-" + l.Name,
+				W:     "w-" + l.Name,
+				Ws:    "ws-" + l.Name,
+				Fwd:   "fwd-" + l.Name,
+				Bwd:   "bwd-" + l.Name,
+				Upd:   "upd-" + l.Name,
+				Refwd: "refwd-" + l.Name,
+				Init:  "init-" + l.Name,
+			}
+		}
+		m.derived = d
+	}
+	return m.derived
 }
 
 // AlgoSwitch is a batch-size threshold at which the library's algorithm

@@ -89,6 +89,7 @@ func Train(p workloads.Platform, sys workloads.System, cfg TrainConfig) (res Tra
 func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps int, footprint units.Size) (TrainResult, error) {
 	m := cfg.Model
 	batch := units.Size(cfg.Batch)
+	nm := m.names()
 
 	alloc := func(name string, n units.Size) (*cuda.Buffer, error) {
 		return ctx.MallocManaged(name, n)
@@ -122,7 +123,7 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 		}
 	}
 	for i, l := range m.Layers {
-		if outputs[i], err = alloc("out-"+l.Name, batch*l.OutPerSample); err != nil {
+		if outputs[i], err = alloc(nm[i].Out, batch*l.OutPerSample); err != nil {
 			return TrainResult{}, err
 		}
 		if cfg.Recompute {
@@ -135,12 +136,12 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 			if stash < units.PageSize {
 				stash = units.PageSize
 			}
-			if stashes[i], err = alloc("stash-"+l.Name, stash); err != nil {
+			if stashes[i], err = alloc(nm[i].Stash, stash); err != nil {
 				return TrainResult{}, err
 			}
 		}
 		// Weights + weight gradients + optimizer state.
-		if weights[i], err = alloc("w-"+l.Name, 3*l.WeightBytes); err != nil {
+		if weights[i], err = alloc(nm[i].W, 3*l.WeightBytes); err != nil {
 			return TrainResult{}, err
 		}
 		// cuDNN scratch: dead right after each kernel that uses it.
@@ -148,7 +149,7 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 		if ws < units.PageSize {
 			ws = units.PageSize
 		}
-		if workspaces[i], err = alloc("ws-"+l.Name, ws); err != nil {
+		if workspaces[i], err = alloc(nm[i].Ws, ws); err != nil {
 			return TrainResult{}, err
 		}
 	}
@@ -156,11 +157,75 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 	copyStream := ctx.Stream("copy")
 	computeStream := ctx.Stream("compute")
 
+	// The per-step kernel specs are step-invariant — same buffers, names,
+	// and compute times every mini-batch — so they are built once here
+	// instead of being reassembled inside the training loop (the loop runs
+	// steps × layers launches and dominated the allocation profile).
+	fwdKernels := make([]cuda.Kernel, len(m.Layers))
+	bwdKernels := make([]cuda.Kernel, len(m.Layers))
+	updKernels := make([]cuda.Kernel, len(m.Layers))
+	refwdKernels := make([]cuda.Kernel, len(m.Layers))
+	for i, l := range m.Layers {
+		in := data
+		if i > 0 {
+			in = outputs[i-1]
+		}
+		accesses := []cuda.Access{
+			{Buf: in, Mode: core.Read},
+			{Buf: weights[i], Mode: core.Read},
+			{Buf: workspaces[i], Mode: core.ReadWrite},
+			{Buf: outputs[i], Mode: core.Write},
+		}
+		if !cfg.Recompute {
+			accesses = append(accesses, cuda.Access{Buf: stashes[i], Mode: core.Write})
+		}
+		fwdKernels[i] = cuda.Kernel{
+			Name:     nm[i].Fwd,
+			Compute:  layerTime(ctx, m, l, cfg.Batch, 1),
+			Accesses: accesses,
+		}
+		down := labels
+		if i < len(m.Layers)-1 {
+			down = outputs[i+1]
+		}
+		bwdKernels[i] = cuda.Kernel{
+			Name:    nm[i].Bwd,
+			Compute: layerTime(ctx, m, l, cfg.Batch, 2),
+			Accesses: []cuda.Access{
+				{Buf: down, Mode: core.Read},
+				{Buf: outputs[i], Mode: core.Read},
+				{Buf: stashes[i], Mode: core.Read},
+				{Buf: weights[i], Mode: core.Read},
+				{Buf: workspaces[i], Mode: core.ReadWrite},
+				{Buf: grad, Mode: core.Write},
+			},
+		}
+		updKernels[i] = cuda.Kernel{
+			Name:    nm[i].Upd,
+			Compute: ctx.ComputeForBytes(float64(3 * l.WeightBytes)),
+			Accesses: []cuda.Access{
+				{Buf: grad, Mode: core.Read},
+				{Buf: weights[i], Mode: core.ReadWrite},
+			},
+		}
+		if cfg.Recompute {
+			refwdKernels[i] = cuda.Kernel{
+				Name:    nm[i].Refwd,
+				Compute: layerTime(ctx, m, l, cfg.Batch, 1),
+				Accesses: []cuda.Access{
+					{Buf: in, Mode: core.Read},
+					{Buf: weights[i], Mode: core.Read},
+					{Buf: stashes[i], Mode: core.Write},
+				},
+			}
+		}
+	}
+
 	// Initialize weights on the GPU (first touch maps zeroed chunks; a
 	// short init kernel writes them).
 	for i, l := range m.Layers {
 		err := computeStream.Launch(cuda.Kernel{
-			Name:     "init-" + l.Name,
+			Name:     nm[i].Init,
 			Compute:  ctx.ComputeForBytes(float64(3 * l.WeightBytes)),
 			Accesses: []cuda.Access{{Buf: weights[i], Mode: core.Write}},
 		})
@@ -213,11 +278,7 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 		}
 
 		// Forward.
-		for i, l := range m.Layers {
-			in := data
-			if i > 0 {
-				in = outputs[i-1]
-			}
+		for i := range m.Layers {
 			if err := prefetch(outputs[i]); err != nil {
 				return TrainResult{}, err
 			}
@@ -229,21 +290,7 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 			if err := prefetch(workspaces[i]); err != nil {
 				return TrainResult{}, err
 			}
-			accesses := []cuda.Access{
-				{Buf: in, Mode: core.Read},
-				{Buf: weights[i], Mode: core.Read},
-				{Buf: workspaces[i], Mode: core.ReadWrite},
-				{Buf: outputs[i], Mode: core.Write},
-			}
-			if !cfg.Recompute {
-				accesses = append(accesses, cuda.Access{Buf: stashes[i], Mode: core.Write})
-			}
-			err := computeStream.Launch(cuda.Kernel{
-				Name:     "fwd-" + l.Name,
-				Compute:  layerTime(ctx, m, l, cfg.Batch, 1),
-				Accesses: accesses,
-			})
-			if err != nil {
+			if err := computeStream.Launch(fwdKernels[i]); err != nil {
 				return TrainResult{}, err
 			}
 			// The cuDNN scratch dies with the layer (§7.5: "intermediate
@@ -258,11 +305,6 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 		// last layer), outputs[i], weights; produces the shared gradient
 		// buffer; the update consumes it (Listing 6).
 		for i := len(m.Layers) - 1; i >= 0; i-- {
-			l := m.Layers[i]
-			down := labels
-			if i < len(m.Layers)-1 {
-				down = outputs[i+1]
-			}
 			if err := prefetch(grad); err != nil {
 				return TrainResult{}, err
 			}
@@ -275,23 +317,10 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 				// Re-run this layer's forward to regenerate the
 				// intermediates the backward needs — the recomputation
 				// cost gradient checkpointing pays.
-				in := data
-				if i > 0 {
-					in = outputs[i-1]
-				}
 				if err := prefetch(stashes[i]); err != nil {
 					return TrainResult{}, err
 				}
-				err := computeStream.Launch(cuda.Kernel{
-					Name:    "refwd-" + l.Name,
-					Compute: layerTime(ctx, m, l, cfg.Batch, 1),
-					Accesses: []cuda.Access{
-						{Buf: in, Mode: core.Read},
-						{Buf: weights[i], Mode: core.Read},
-						{Buf: stashes[i], Mode: core.Write},
-					},
-				})
-				if err != nil {
+				if err := computeStream.Launch(refwdKernels[i]); err != nil {
 					return TrainResult{}, err
 				}
 			} else if err := prefetch(stashes[i]); err != nil {
@@ -300,19 +329,7 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 			if err := prefetch(workspaces[i]); err != nil {
 				return TrainResult{}, err
 			}
-			err := computeStream.Launch(cuda.Kernel{
-				Name:    "bwd-" + l.Name,
-				Compute: layerTime(ctx, m, l, cfg.Batch, 2),
-				Accesses: []cuda.Access{
-					{Buf: down, Mode: core.Read},
-					{Buf: outputs[i], Mode: core.Read},
-					{Buf: stashes[i], Mode: core.Read},
-					{Buf: weights[i], Mode: core.Read},
-					{Buf: workspaces[i], Mode: core.ReadWrite},
-					{Buf: grad, Mode: core.Write},
-				},
-			})
-			if err != nil {
+			if err := computeStream.Launch(bwdKernels[i]); err != nil {
 				return TrainResult{}, err
 			}
 			// outputs[i+1] now holds useless data (Listing 6), and this
@@ -328,15 +345,7 @@ func trainUVM(ctx *cuda.Context, sys workloads.System, cfg TrainConfig, steps in
 			if err := discard(workspaces[i]); err != nil {
 				return TrainResult{}, err
 			}
-			err = computeStream.Launch(cuda.Kernel{
-				Name:    "upd-" + l.Name,
-				Compute: ctx.ComputeForBytes(float64(3 * l.WeightBytes)),
-				Accesses: []cuda.Access{
-					{Buf: grad, Mode: core.Read},
-					{Buf: weights[i], Mode: core.ReadWrite},
-				},
-			})
-			if err != nil {
+			if err := computeStream.Launch(updKernels[i]); err != nil {
 				return TrainResult{}, err
 			}
 			// gradients now hold useless data (Listing 6).
@@ -373,6 +382,7 @@ func trainNoUVM(ctx *cuda.Context, cfg TrainConfig, steps int, footprint units.S
 	defer dev.Free()
 
 	stream := ctx.Stream("main")
+	nm := m.names()
 	inputBytes := units.Size(cfg.Batch) * (m.SampleBytes + m.LabelBytes)
 	var measureFrom sim.Time
 	for step := 0; step < steps; step++ {
@@ -381,9 +391,9 @@ func trainNoUVM(ctx *cuda.Context, cfg TrainConfig, steps int, footprint units.S
 			measureFrom = ctx.Elapsed()
 		}
 		stream.MemcpyHostToDevice(inputBytes)
-		for _, l := range m.Layers {
+		for i, l := range m.Layers {
 			err := stream.Launch(cuda.Kernel{
-				Name:    "fwd-" + l.Name,
+				Name:    nm[i].Fwd,
 				Compute: layerTime(ctx, m, l, cfg.Batch, 1),
 			})
 			if err != nil {
@@ -393,7 +403,7 @@ func trainNoUVM(ctx *cuda.Context, cfg TrainConfig, steps int, footprint units.S
 		for i := len(m.Layers) - 1; i >= 0; i-- {
 			l := m.Layers[i]
 			err := stream.Launch(cuda.Kernel{
-				Name:    "bwd-" + l.Name,
+				Name:    nm[i].Bwd,
 				Compute: layerTime(ctx, m, l, cfg.Batch, 2) + ctx.ComputeForBytes(float64(3*l.WeightBytes)),
 			})
 			if err != nil {

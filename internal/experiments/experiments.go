@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -181,13 +182,18 @@ func artifactKey(id string) string {
 }
 
 // fmtRatio renders a normalized runtime like the paper's "0.51/0.52"
-// PCIe-3/PCIe-4 cells.
+// PCIe-3/PCIe-4 cells. Built with strconv to avoid fmt's float boxing —
+// the runtime tables format hundreds of cells per sweep.
 func fmtRatio(gen3, gen4 float64) string {
-	return fmt.Sprintf("%.2f/%.2f", gen3, gen4)
+	b := make([]byte, 0, 12)
+	b = strconv.AppendFloat(b, gen3, 'f', 2, 64)
+	b = append(b, '/')
+	b = strconv.AppendFloat(b, gen4, 'f', 2, 64)
+	return string(b)
 }
 
 // fmtGB renders gigabytes with two decimals like the paper's traffic
 // tables.
 func fmtGB(bytes uint64) string {
-	return fmt.Sprintf("%.2f", float64(bytes)/1e9)
+	return strconv.FormatFloat(float64(bytes)/1e9, 'f', 2, 64)
 }

@@ -138,7 +138,7 @@ func runtimeTable(id, title string, run microRunner, paper map[workloads.System]
 		ovsp int
 		sys  workloads.System
 	}
-	results := map[key]workloads.Result{}
+	results := make(map[key]workloads.Result, 2*len(ovspColumns)*len(tableSystems))
 	for _, gen := range []pcie.Generation{pcie.Gen3, pcie.Gen4} {
 		for _, col := range ovspColumns {
 			for _, sys := range tableSystems {
@@ -152,7 +152,8 @@ func runtimeTable(id, title string, run microRunner, paper map[workloads.System]
 		}
 	}
 	for _, sys := range tableSystems {
-		row := []string{sys.String()}
+		row := make([]string, 0, len(ovspColumns)+1)
+		row = append(row, sys.String())
 		for _, col := range ovspColumns {
 			var cell [2]float64
 			for i, gen := range []pcie.Generation{pcie.Gen3, pcie.Gen4} {

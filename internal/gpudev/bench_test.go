@@ -1,0 +1,117 @@
+package gpudev
+
+import (
+	"testing"
+
+	"uvmdiscard/internal/units"
+)
+
+// benchDevice builds a small device for queue micro-benchmarks: 128 chunks,
+// no reservation.
+func benchDevice(tb testing.TB) *Device {
+	tb.Helper()
+	d, err := NewDevice(Generic(256*units.MiB), 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// The queue operations below are the driver's per-fault and per-eviction
+// inner loop (§5.5): every GPU page fault pops a chunk, every eviction
+// detaches and re-queues one. They must stay allocation-free — the chunk
+// lists are int32 indices into the device's flat chunk array precisely so
+// that steady-state migration touches no allocator.
+
+func BenchmarkPopFreePushUsed(b *testing.B) {
+	d := benchDevice(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := d.PopFree()
+		d.PushUsed(c)
+		d.Detach(c)
+		d.PushFree(c)
+	}
+}
+
+func BenchmarkDetachRequeue(b *testing.B) {
+	d := benchDevice(b)
+	// One resident chunk cycling through the dead-data queues, as a
+	// discard followed by a repurposing fault does.
+	c := d.PopFree()
+	d.PushUsed(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Detach(c)
+		d.PushDiscarded(c)
+		d.Detach(c)
+		d.PushUnused(c)
+		d.Detach(c)
+		d.PushUsed(c)
+	}
+}
+
+func BenchmarkLRUVictim(b *testing.B) {
+	d := benchDevice(b)
+	for d.QueueLen(QueueFree) > 0 {
+		d.PushUsed(d.PopFree())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := d.LRUVictim()
+		if v == nil {
+			b.Fatal("no LRU victim with a full used queue")
+		}
+		d.Touch(v) // rotate so the scan stays warm
+	}
+}
+
+func BenchmarkTouchMRU(b *testing.B) {
+	d := benchDevice(b)
+	for d.QueueLen(QueueFree) > 0 {
+		d.PushUsed(d.PopFree())
+	}
+	c := d.LRUVictim()
+	d.Touch(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Touch(c) // already MRU: the fast path every warm re-access takes
+	}
+}
+
+func BenchmarkTouchRotate(b *testing.B) {
+	d := benchDevice(b)
+	for d.QueueLen(QueueFree) > 0 {
+		d.PushUsed(d.PopFree())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Touch(d.LRUVictim()) // coldest to hottest: the unlink+relink path
+	}
+}
+
+// TestQueueOpsAllocFree pins the zero-allocation property the benchmarks
+// above measure, so a regression fails `go test` rather than only showing
+// up in a benchmark diff.
+func TestQueueOpsAllocFree(t *testing.T) {
+	d := benchDevice(t)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c := d.PopFree()
+		d.PushUsed(c)
+		d.Detach(c)
+		d.PushFree(c)
+	}); allocs != 0 {
+		t.Errorf("pop/push cycle allocates %v times per run, want 0", allocs)
+	}
+
+	for d.QueueLen(QueueFree) > 0 {
+		d.PushUsed(d.PopFree())
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		v := d.LRUVictim()
+		d.Touch(v)
+		d.Touch(v) // MRU fast path
+	}); allocs != 0 {
+		t.Errorf("LRU victim + touch allocates %v times per run, want 0", allocs)
+	}
+}

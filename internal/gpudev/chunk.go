@@ -56,11 +56,18 @@ func (k QueueKind) String() string {
 
 // Chunk is one 2 MiB GPU physical page. Chunks are owned by a Device and
 // live on exactly one queue at all times.
+//
+// Queue links are int32 indices into the owning Device's chunk array
+// rather than pointers. The chunk pool is a single fixed-size slice, so an
+// index identifies a chunk as well as a pointer does — and moving a chunk
+// between queues then writes only plain integers, which keeps the GC's
+// write barrier entirely off the driver's hottest path (queue pushes and
+// LRU touches showed up as wbBufFlush time in the PR 9 CPU profile).
 type Chunk struct {
-	id    int
+	id    int32
 	queue QueueKind
-	prev  *Chunk
-	next  *Chunk
+	prev  int32 // index of previous chunk on the queue, or noChunk
+	next  int32 // index of next chunk on the queue, or noChunk
 
 	// Owner is an opaque back-pointer set by the driver to the virtual
 	// block currently mapped to this chunk (nil when unowned). The device
@@ -77,64 +84,81 @@ type Chunk struct {
 	// mappings still exist; reclaiming it must pay the unmap cost that
 	// UvmDiscard would have paid eagerly (§5.6).
 	NeedsUnmapOnReclaim bool
+
+	// DeviceBuffer marks a chunk held by a classic (non-UVM) cudaMalloc
+	// device buffer: detached from every queue until cudaFree returns it.
+	// The driver sets and clears it (core MallocDevice/FreeDevice); it
+	// replaces the old side-table of device-buffer chunks so membership
+	// tests are a field load instead of a map probe.
+	DeviceBuffer bool
 }
 
+// noChunk is the nil value of a chunk-index link.
+const noChunk int32 = -1
+
 // ID returns the chunk's index within its device.
-func (c *Chunk) ID() int { return c.id }
+func (c *Chunk) ID() int { return int(c.id) }
 
 // Queue returns the queue the chunk currently occupies.
 func (c *Chunk) Queue() QueueKind { return c.queue }
 
-// chunkList is an intrusive doubly-linked list of chunks. The head is the
-// next element to pop; pushes go to the tail. For the used queue this makes
-// the head the LRU side and the tail the MRU side.
+// chunkList is an intrusive doubly-linked list over a device's chunk
+// array, linked by indices. The head is the next element to pop; pushes go
+// to the tail. For the used queue this makes the head the LRU side and the
+// tail the MRU side. Every operation takes the owning device's chunk slice
+// to resolve links.
 type chunkList struct {
-	head, tail *Chunk
+	head, tail int32
 	size       int
 }
 
-func (l *chunkList) pushTail(c *Chunk) {
-	c.prev, c.next = l.tail, nil
-	if l.tail != nil {
-		l.tail.next = c
+func (l *chunkList) init() {
+	l.head, l.tail = noChunk, noChunk
+}
+
+func (l *chunkList) pushTail(chunks []Chunk, c *Chunk) {
+	c.prev, c.next = l.tail, noChunk
+	if l.tail != noChunk {
+		chunks[l.tail].next = c.id
 	} else {
-		l.head = c
+		l.head = c.id
 	}
-	l.tail = c
+	l.tail = c.id
 	l.size++
 }
 
-func (l *chunkList) remove(c *Chunk) {
-	if c.prev != nil {
-		c.prev.next = c.next
+func (l *chunkList) remove(chunks []Chunk, c *Chunk) {
+	if c.prev != noChunk {
+		chunks[c.prev].next = c.next
 	} else {
 		l.head = c.next
 	}
-	if c.next != nil {
-		c.next.prev = c.prev
+	if c.next != noChunk {
+		chunks[c.next].prev = c.prev
 	} else {
 		l.tail = c.prev
 	}
-	c.prev, c.next = nil, nil
+	c.prev, c.next = noChunk, noChunk
 	l.size--
 }
 
-func (l *chunkList) popHead() *Chunk {
-	c := l.head
-	if c == nil {
+func (l *chunkList) popHead(chunks []Chunk) *Chunk {
+	if l.head == noChunk {
 		return nil
 	}
-	l.remove(c)
+	c := &chunks[l.head]
+	l.remove(chunks, c)
 	return c
 }
 
 // forEach visits chunks from head (next-to-pop / LRU) to tail.
-func (l *chunkList) forEach(fn func(*Chunk) bool) {
-	for c := l.head; c != nil; {
+func (l *chunkList) forEach(chunks []Chunk, fn func(*Chunk) bool) {
+	for i := l.head; i != noChunk; {
+		c := &chunks[i]
 		next := c.next // fn may move c to another list
 		if !fn(c) {
 			return
 		}
-		c = next
+		i = next
 	}
 }

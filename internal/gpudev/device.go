@@ -36,17 +36,35 @@ func NewDevice(profile Profile, reservedBytes units.Size) (*Device, error) {
 			units.Format(reservedBytes), profile.Name, total)
 	}
 	d := &Device{profile: profile, chunks: make([]Chunk, total)}
-	for i := range d.chunks {
-		d.chunks[i].id = i
-		if i < res {
-			d.chunks[i].queue = QueueReserved
-			d.reserved.pushTail(&d.chunks[i])
-		} else {
-			d.chunks[i].queue = QueueFree
-			d.free.pushTail(&d.chunks[i])
-		}
+	for _, l := range []*chunkList{&d.free, &d.unused, &d.used, &d.discarded, &d.reserved, &d.poisoned} {
+		l.init()
 	}
+	for i := range d.chunks {
+		d.chunks[i].id = int32(i)
+	}
+	d.linkRange(&d.reserved, 0, res, QueueReserved)
+	d.linkRange(&d.free, res, total, QueueFree)
 	return d, nil
+}
+
+// linkRange threads chunks [lo, hi) onto l in index order with direct
+// prev/next stores — the same list shape hi-lo pushTail calls would build.
+// Experiment sweeps construct thousands of devices with tens of thousands of
+// chunks each, so initialization is linked arithmetically instead of through
+// the per-chunk push path.
+func (d *Device) linkRange(l *chunkList, lo, hi int, k QueueKind) {
+	if lo >= hi {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		d.chunks[i].queue = k
+		d.chunks[i].prev = int32(i - 1)
+		d.chunks[i].next = int32(i + 1)
+	}
+	d.chunks[lo].prev = noChunk
+	d.chunks[hi-1].next = noChunk
+	l.head, l.tail = int32(lo), int32(hi-1)
+	l.size = hi - lo
 }
 
 // Profile returns the device's hardware profile.
@@ -100,10 +118,15 @@ func (d *Device) PopDiscarded() *Chunk { return d.popFrom(&d.discarded) }
 
 // LRUVictim returns (without removing) the least-recently-used chunk on the
 // used queue, or nil if the queue is empty.
-func (d *Device) LRUVictim() *Chunk { return d.used.head }
+func (d *Device) LRUVictim() *Chunk {
+	if d.used.head == noChunk {
+		return nil
+	}
+	return &d.chunks[d.used.head]
+}
 
 func (d *Device) popFrom(l *chunkList) *Chunk {
-	c := l.popHead()
+	c := l.popHead(d.chunks)
 	if c != nil {
 		c.queue = QueueNone
 	}
@@ -116,15 +139,15 @@ func (d *Device) popFrom(l *chunkList) *Chunk {
 func (d *Device) Detach(c *Chunk) {
 	switch c.queue {
 	case QueueFree:
-		d.free.remove(c)
+		d.free.remove(d.chunks, c)
 	case QueueUnused:
-		d.unused.remove(c)
+		d.unused.remove(d.chunks, c)
 	case QueueUsed:
-		d.used.remove(c)
+		d.used.remove(d.chunks, c)
 	case QueueDiscarded:
-		d.discarded.remove(c)
+		d.discarded.remove(d.chunks, c)
 	case QueueReserved:
-		d.reserved.remove(c)
+		d.reserved.remove(d.chunks, c)
 	case QueuePoisoned:
 		// Poison retires a chunk permanently: ECC page retirement has no
 		// un-retire, so nothing may pull it back into service.
@@ -169,7 +192,7 @@ func (d *Device) pushTo(l *chunkList, c *Chunk, k QueueKind) {
 		panic(fmt.Sprintf("gpudev: pushing chunk %d to %v while still on %v", c.id, k, c.queue))
 	}
 	c.queue = k
-	l.pushTail(c)
+	l.pushTail(d.chunks, c)
 }
 
 // Touch records a use of a chunk on the used queue, moving it to the MRU
@@ -178,14 +201,17 @@ func (d *Device) Touch(c *Chunk) {
 	if c.queue != QueueUsed {
 		panic(fmt.Sprintf("gpudev: touch of chunk %d on queue %v", c.id, c.queue))
 	}
-	d.used.remove(c)
+	if d.used.tail == c.id {
+		return // already MRU: remove+push would be the identity
+	}
+	d.used.remove(d.chunks, c)
 	c.queue = QueueNone
 	d.PushUsed(c)
 }
 
 // EachUsed visits used-queue chunks from LRU to MRU; fn returning false
 // stops the walk.
-func (d *Device) EachUsed(fn func(*Chunk) bool) { d.used.forEach(fn) }
+func (d *Device) EachUsed(fn func(*Chunk) bool) { d.used.forEach(d.chunks, fn) }
 
 // EachChunk visits every chunk the device manages — whatever queue it is
 // on, including detached (queue = none) chunks — in chunk-id order; fn
@@ -200,7 +226,16 @@ func (d *Device) EachChunk(fn func(*Chunk) bool) {
 }
 
 // EachDiscarded visits discarded-queue chunks in FIFO order.
-func (d *Device) EachDiscarded(fn func(*Chunk) bool) { d.discarded.forEach(fn) }
+func (d *Device) EachDiscarded(fn func(*Chunk) bool) { d.discarded.forEach(d.chunks, fn) }
+
+// QueuedChunks returns the number of chunks currently on any queue, from
+// the queues' O(1) size counters. TotalChunks() - QueuedChunks() is the
+// number of detached chunks, which the incremental sanitizer checks against
+// the driver's device-buffer accounting without walking the chunk array.
+func (d *Device) QueuedChunks() int {
+	return d.free.size + d.unused.size + d.used.size + d.discarded.size +
+		d.reserved.size + d.poisoned.size
+}
 
 // CheckInvariants verifies that every chunk is on exactly the queue its
 // state claims and that queue sizes add up. It is called from tests and is
@@ -226,7 +261,8 @@ func (d *Device) CheckInvariants() error {
 		{&d.poisoned, QueuePoisoned},
 	} {
 		n := 0
-		for c := q.l.head; c != nil; c = c.next {
+		for i := q.l.head; i != noChunk; i = d.chunks[i].next {
+			c := &d.chunks[i]
 			if c.queue != q.k {
 				return fmt.Errorf("gpudev: chunk %d on %v list claims queue %v", c.id, q.k, c.queue)
 			}

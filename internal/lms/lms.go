@@ -87,6 +87,17 @@ func Train(p workloads.Platform, cfg Config) (out dnn.TrainResult, err error) {
 		return sim.Time(flops / (tflops * 1e12) * float64(sim.Second))
 	}
 
+	// Step-invariant kernel specs, built once instead of per mini-batch.
+	fwdKernels := make([]cuda.Kernel, len(m.Layers))
+	bwdKernels := make([]cuda.Kernel, len(m.Layers))
+	for i, l := range m.Layers {
+		fwdKernels[i] = cuda.Kernel{Name: "fwd-" + l.Name, Compute: layerFlopsTime(l, 1)}
+		bwdKernels[i] = cuda.Kernel{
+			Name:    "bwd-" + l.Name,
+			Compute: layerFlopsTime(l, 2) + ctx.ComputeForBytes(float64(3*l.WeightBytes)),
+		}
+	}
+
 	var measureFrom sim.Time
 	for step := 0; step < steps; step++ {
 		if step == 1 {
@@ -98,12 +109,9 @@ func Train(p workloads.Platform, cfg Config) (out dnn.TrainResult, err error) {
 
 		// Forward: weights in, compute, activations + stash out (they are
 		// needed again in backward but do not fit on the device).
-		for _, l := range m.Layers {
+		for i, l := range m.Layers {
 			stream.MemcpyHostToDevice(l.WeightBytes)
-			if err := stream.Launch(cuda.Kernel{
-				Name:    "fwd-" + l.Name,
-				Compute: layerFlopsTime(l, 1),
-			}); err != nil {
+			if err := stream.Launch(fwdKernels[i]); err != nil {
 				return dnn.TrainResult{}, err
 			}
 			stream.MemcpyDeviceToHost(batch * (l.OutPerSample + l.StashPerSample))
@@ -115,10 +123,7 @@ func Train(p workloads.Platform, cfg Config) (out dnn.TrainResult, err error) {
 			l := m.Layers[i]
 			stream.MemcpyHostToDevice(batch * (l.OutPerSample + l.StashPerSample))
 			stream.MemcpyHostToDevice(l.WeightBytes)
-			if err := stream.Launch(cuda.Kernel{
-				Name:    "bwd-" + l.Name,
-				Compute: layerFlopsTime(l, 2) + ctx.ComputeForBytes(float64(3*l.WeightBytes)),
-			}); err != nil {
+			if err := stream.Launch(bwdKernels[i]); err != nil {
 				return dnn.TrainResult{}, err
 			}
 			stream.MemcpyDeviceToHost(l.WeightBytes)

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"uvmdiscard/internal/sim"
 	"uvmdiscard/internal/units"
@@ -110,49 +111,63 @@ func (s EvictSource) String() string {
 // Collector accumulates counters for one simulation run. The zero value is
 // ready to use.
 //
-// A Collector is safe for concurrent use: every method takes an internal
-// mutex, so a progress reporter may call the getters (or Snapshot) while
-// the run that owns the collector is still adding to it. The parallel
-// experiment runner relies on this; see internal/experiments.
+// Ownership model (hot path): the counters are lock-free atomics. The
+// driver goroutine that owns a run is the only writer on the Add* paths,
+// so an add is a single uncontended atomic RMW — no mutex, no lock
+// acquisition in the driver loop. Concurrent readers (the service's
+// /metrics exporter snapshotting a live run, SSE progress reporters) load
+// the same atomics, so scraping a running collector stays race-free. Each
+// counter is individually exact and monotonic; a snapshot taken mid-add
+// may be skewed by the operation in flight, which monotonic counters
+// tolerate. Deterministic outputs only ever read a collector after its
+// run finished, where every view is exact.
+//
+// The mutex below guards only the cold composite state declared after it:
+// the per-device residency gauges (republished at checkpoint stride, not
+// per-op) and the API-time map.
 type Collector struct {
-	mu sync.Mutex
+	bytes    [numDirections][numCauses]atomic.Uint64
+	ops      [numDirections][numCauses]atomic.Int64
+	evicts   [numEvictSources]atomic.Int64
+	savedH2D atomic.Uint64 // bytes of H2D transfer avoided by discard
+	savedD2H atomic.Uint64 // bytes of D2H transfer avoided by discard
 
-	bytes    [numDirections][numCauses]uint64
-	ops      [numDirections][numCauses]int64
-	evicts   [numEvictSources]int64
-	savedH2D uint64 // bytes of H2D transfer avoided by discard
-	savedD2H uint64 // bytes of D2H transfer avoided by discard
+	peerBytes atomic.Uint64 // GPU-to-GPU transfers (do not cross host DRAM)
+	peerOps   atomic.Int64
+	peerSaved atomic.Uint64 // peer transfers avoided by discard
 
-	peerBytes uint64 // GPU-to-GPU transfers (do not cross host DRAM)
-	peerOps   int64
-	peerSaved uint64 // peer transfers avoided by discard
-
-	faultBatches  int64
-	faultedBlocks int64
-	zeroBlocks    int64
-	zeroPages     int64
-	unmapBlocks   int64
-	mapBlocks     int64
-	discardCalls  int64
-	discardBlocks int64
+	faultBatches  atomic.Int64
+	faultedBlocks atomic.Int64
+	zeroBlocks    atomic.Int64
+	zeroPages     atomic.Int64
+	unmapBlocks   atomic.Int64
+	mapBlocks     atomic.Int64
+	discardCalls  atomic.Int64
+	discardBlocks atomic.Int64
 
 	// Fault-recovery instrumentation (internal/faultinject): every injected
 	// failure the driver survives is visible here, so the chaos harness can
 	// prove none was silently dropped.
-	migrateRetries int64  // failed DMA/peer migration attempts that were retried
-	unmapRetries   int64  // reissued unmap/TLB shootdowns
-	faultReplays   int64  // replayed fault rounds after buffer overflow
-	degradedBlocks int64  // migrations degraded to coherent host-pinned access
-	degradedBytes  uint64 // bytes served through the degradation path
-	poisonedChunks int64  // chunks quarantined by ECC-style poison
-	poisonLost     uint64 // poisoned bytes with no valid host copy (data lost)
-	poisonSaved    uint64 // poisoned bytes recovered from a valid host copy
+	migrateRetries atomic.Int64  // failed DMA/peer migration attempts that were retried
+	unmapRetries   atomic.Int64  // reissued unmap/TLB shootdowns
+	faultReplays   atomic.Int64  // replayed fault rounds after buffer overflow
+	degradedBlocks atomic.Int64  // migrations degraded to coherent host-pinned access
+	degradedBytes  atomic.Uint64 // bytes served through the degradation path
+	poisonedChunks atomic.Int64  // chunks quarantined by ECC-style poison
+	poisonLost     atomic.Uint64 // poisoned bytes with no valid host copy (data lost)
+	poisonSaved    atomic.Uint64 // poisoned bytes recovered from a valid host copy
+
+	mu sync.Mutex
 
 	// devRes holds per-device residency gauges, indexed by GPU. Unlike the
 	// counters above these are point-in-time values: the driver republishes
 	// them at checkpoints (core.Driver.PublishResidency) and the service's
 	// /metrics exporter renders them with device="gpuN" labels.
 	devRes []DeviceResidency
+	// devResInline backs devRes in the single-GPU case so the first
+	// PublishResidency of a run does not heap-allocate; multi-GPU runs
+	// grow onto the heap as usual.
+	devResInline [1]DeviceResidency
 
 	apiTime map[string]sim.Time
 }
@@ -179,175 +194,131 @@ func New() *Collector {
 
 // AddTransfer records a transfer of n bytes.
 func (c *Collector) AddTransfer(dir Direction, cause Cause, n uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.bytes[dir][cause] += n
-	c.ops[dir][cause]++
+	c.bytes[dir][cause].Add(n)
+	c.ops[dir][cause].Add(1)
 }
 
 // AddSaved records n bytes of transfer avoided because the data was
 // discarded.
 func (c *Collector) AddSaved(dir Direction, n uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if dir == H2D {
-		c.savedH2D += n
+		c.savedH2D.Add(n)
 	} else {
-		c.savedD2H += n
+		c.savedD2H.Add(n)
 	}
 }
 
 // AddPeer records a GPU-to-GPU transfer of n bytes over the peer fabric.
 func (c *Collector) AddPeer(n uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.peerBytes += n
-	c.peerOps++
+	c.peerBytes.Add(n)
+	c.peerOps.Add(1)
 }
 
 // AddPeerSaved records n bytes of peer transfer avoided by discard.
 func (c *Collector) AddPeerSaved(n uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.peerSaved += n
+	c.peerSaved.Add(n)
 }
 
 // Peer returns (bytes, ops) of GPU-to-GPU traffic.
 func (c *Collector) Peer() (bytes uint64, ops int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.peerBytes, c.peerOps
+	return c.peerBytes.Load(), c.peerOps.Load()
 }
 
 // PeerSaved returns the peer-transfer bytes avoided by discard.
 func (c *Collector) PeerSaved() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.peerSaved
+	return c.peerSaved.Load()
 }
 
 // AddEviction records one chunk allocation satisfied from the given source.
 func (c *Collector) AddEviction(src EvictSource) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.evicts[src]++
+	c.evicts[src].Add(1)
 }
 
 // AddFaultBatch records one fault-service batch covering n blocks.
 func (c *Collector) AddFaultBatch(blocks int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.faultBatches++
-	c.faultedBlocks += int64(blocks)
+	c.faultBatches.Add(1)
+	c.faultedBlocks.Add(int64(blocks))
 }
 
 // AddZeroFill records zero-fill work: whole blocks and loose 4 KiB pages.
 func (c *Collector) AddZeroFill(blocks, pages int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.zeroBlocks += int64(blocks)
-	c.zeroPages += int64(pages)
+	c.zeroBlocks.Add(int64(blocks))
+	c.zeroPages.Add(int64(pages))
 }
 
 // AddUnmap records PTE-destruction work on n blocks.
 func (c *Collector) AddUnmap(blocks int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.unmapBlocks += int64(blocks)
+	c.unmapBlocks.Add(int64(blocks))
 }
 
 // AddMap records PTE-establishment work on n blocks.
 func (c *Collector) AddMap(blocks int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mapBlocks += int64(blocks)
+	c.mapBlocks.Add(int64(blocks))
 }
 
 // AddDiscard records one discard API call covering n blocks.
 func (c *Collector) AddDiscard(blocks int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.discardCalls++
-	c.discardBlocks += int64(blocks)
+	c.discardCalls.Add(1)
+	c.discardBlocks.Add(int64(blocks))
 }
 
 // AddMigrateRetry records one failed DMA or peer migration attempt that the
 // driver retried (or, once retries were exhausted, degraded).
 func (c *Collector) AddMigrateRetry() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.migrateRetries++
+	c.migrateRetries.Add(1)
 }
 
 // AddUnmapRetry records one reissued unmap/TLB shootdown.
 func (c *Collector) AddUnmapRetry() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.unmapRetries++
+	c.unmapRetries.Add(1)
 }
 
 // AddFaultReplay records n replayed fault rounds forced by a
 // replayable-fault-buffer overflow.
 func (c *Collector) AddFaultReplay(rounds int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.faultReplays += int64(rounds)
+	c.faultReplays.Add(int64(rounds))
 }
 
 // AddDegraded records one block migration that fell back to coherent
 // host-pinned access after exhausting its retries.
 func (c *Collector) AddDegraded(bytes uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.degradedBlocks++
-	c.degradedBytes += bytes
+	c.degradedBlocks.Add(1)
+	c.degradedBytes.Add(bytes)
 }
 
 // AddPoison records one chunk quarantined by ECC-style poison: recovered
 // bytes had a valid host copy, lost bytes did not.
 func (c *Collector) AddPoison(recovered, lost uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.poisonedChunks++
-	c.poisonSaved += recovered
-	c.poisonLost += lost
+	c.poisonedChunks.Add(1)
+	c.poisonSaved.Add(recovered)
+	c.poisonLost.Add(lost)
 }
 
 // MigrateRetries returns the number of retried migration attempts.
 func (c *Collector) MigrateRetries() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.migrateRetries
+	return c.migrateRetries.Load()
 }
 
 // UnmapRetries returns the number of reissued unmap shootdowns.
 func (c *Collector) UnmapRetries() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.unmapRetries
+	return c.unmapRetries.Load()
 }
 
 // FaultReplays returns the number of replayed fault rounds.
 func (c *Collector) FaultReplays() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.faultReplays
+	return c.faultReplays.Load()
 }
 
 // Degraded returns (blocks, bytes) that fell back to coherent host-pinned
 // access.
 func (c *Collector) Degraded() (blocks int64, bytes uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.degradedBlocks, c.degradedBytes
+	return c.degradedBlocks.Load(), c.degradedBytes.Load()
 }
 
 // Poisoned returns quarantined-chunk counts: recovered bytes had a valid
 // host copy, lost bytes did not.
 func (c *Collector) Poisoned() (chunks int64, recovered, lost uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.poisonedChunks, c.poisonSaved, c.poisonLost
+	return c.poisonedChunks.Load(), c.poisonSaved.Load(), c.poisonLost.Load()
 }
 
 // SetDeviceResidency records a point-in-time residency view for GPU gpu,
@@ -355,6 +326,9 @@ func (c *Collector) Poisoned() (chunks int64, recovered, lost uint64) {
 func (c *Collector) SetDeviceResidency(gpu int, r DeviceResidency) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.devRes == nil {
+		c.devRes = c.devResInline[:0]
+	}
 	for len(c.devRes) <= gpu {
 		c.devRes = append(c.devRes, DeviceResidency{})
 	}
@@ -378,38 +352,38 @@ func (c *Collector) DeviceResidency() []DeviceResidency {
 // snapshotted first, so merging a live collector is safe.
 func (c *Collector) Merge(src *Collector) {
 	s := src.Snapshot()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for dir := Direction(0); dir < numDirections; dir++ {
 		for cause := Cause(0); cause < numCauses; cause++ {
-			c.bytes[dir][cause] += s.bytes[dir][cause]
-			c.ops[dir][cause] += s.ops[dir][cause]
+			c.bytes[dir][cause].Add(s.bytes[dir][cause].Load())
+			c.ops[dir][cause].Add(s.ops[dir][cause].Load())
 		}
 	}
 	for es := EvictSource(0); es < numEvictSources; es++ {
-		c.evicts[es] += s.evicts[es]
+		c.evicts[es].Add(s.evicts[es].Load())
 	}
-	c.savedH2D += s.savedH2D
-	c.savedD2H += s.savedD2H
-	c.peerBytes += s.peerBytes
-	c.peerOps += s.peerOps
-	c.peerSaved += s.peerSaved
-	c.faultBatches += s.faultBatches
-	c.faultedBlocks += s.faultedBlocks
-	c.zeroBlocks += s.zeroBlocks
-	c.zeroPages += s.zeroPages
-	c.unmapBlocks += s.unmapBlocks
-	c.mapBlocks += s.mapBlocks
-	c.discardCalls += s.discardCalls
-	c.discardBlocks += s.discardBlocks
-	c.migrateRetries += s.migrateRetries
-	c.unmapRetries += s.unmapRetries
-	c.faultReplays += s.faultReplays
-	c.degradedBlocks += s.degradedBlocks
-	c.degradedBytes += s.degradedBytes
-	c.poisonedChunks += s.poisonedChunks
-	c.poisonLost += s.poisonLost
-	c.poisonSaved += s.poisonSaved
+	c.savedH2D.Add(s.savedH2D.Load())
+	c.savedD2H.Add(s.savedD2H.Load())
+	c.peerBytes.Add(s.peerBytes.Load())
+	c.peerOps.Add(s.peerOps.Load())
+	c.peerSaved.Add(s.peerSaved.Load())
+	c.faultBatches.Add(s.faultBatches.Load())
+	c.faultedBlocks.Add(s.faultedBlocks.Load())
+	c.zeroBlocks.Add(s.zeroBlocks.Load())
+	c.zeroPages.Add(s.zeroPages.Load())
+	c.unmapBlocks.Add(s.unmapBlocks.Load())
+	c.mapBlocks.Add(s.mapBlocks.Load())
+	c.discardCalls.Add(s.discardCalls.Load())
+	c.discardBlocks.Add(s.discardBlocks.Load())
+	c.migrateRetries.Add(s.migrateRetries.Load())
+	c.unmapRetries.Add(s.unmapRetries.Load())
+	c.faultReplays.Add(s.faultReplays.Load())
+	c.degradedBlocks.Add(s.degradedBlocks.Load())
+	c.degradedBytes.Add(s.degradedBytes.Load())
+	c.poisonedChunks.Add(s.poisonedChunks.Load())
+	c.poisonLost.Add(s.poisonLost.Load())
+	c.poisonSaved.Add(s.poisonSaved.Load())
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(s.devRes) > 0 {
 		c.devRes = append(c.devRes[:0], s.devRes...)
 	}
@@ -433,29 +407,19 @@ func (c *Collector) AddAPITime(api string, t sim.Time) {
 
 // Bytes returns the bytes transferred in dir for cause.
 func (c *Collector) Bytes(dir Direction, cause Cause) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes[dir][cause]
+	return c.bytes[dir][cause].Load()
 }
 
 // Ops returns the number of DMA operations in dir for cause.
 func (c *Collector) Ops(dir Direction, cause Cause) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ops[dir][cause]
+	return c.ops[dir][cause].Load()
 }
 
 // TotalBytes returns all interconnect traffic in one direction.
 func (c *Collector) TotalBytes(dir Direction) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.totalBytesLocked(dir)
-}
-
-func (c *Collector) totalBytesLocked(dir Direction) uint64 {
 	var t uint64
 	for cause := Cause(0); cause < numCauses; cause++ {
-		t += c.bytes[dir][cause]
+		t += c.bytes[dir][cause].Load()
 	}
 	return t
 }
@@ -463,58 +427,42 @@ func (c *Collector) totalBytesLocked(dir Direction) uint64 {
 // Traffic returns total interconnect traffic in both directions — the
 // quantity the paper's "PCIe traffic (GB)" tables report.
 func (c *Collector) Traffic() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.totalBytesLocked(H2D) + c.totalBytesLocked(D2H)
+	return c.TotalBytes(H2D) + c.TotalBytes(D2H)
 }
 
 // Saved returns the bytes of transfer avoided by discard in each direction.
 func (c *Collector) Saved() (h2d, d2h uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.savedH2D, c.savedD2H
+	return c.savedH2D.Load(), c.savedD2H.Load()
 }
 
 // Evictions returns the count for one eviction source.
 func (c *Collector) Evictions(src EvictSource) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.evicts[src]
+	return c.evicts[src].Load()
 }
 
 // FaultBatches returns (batches, totalFaultedBlocks).
 func (c *Collector) FaultBatches() (batches, blocks int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.faultBatches, c.faultedBlocks
+	return c.faultBatches.Load(), c.faultedBlocks.Load()
 }
 
 // ZeroFills returns (wholeBlocks, loosePages).
 func (c *Collector) ZeroFills() (blocks, pages int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.zeroBlocks, c.zeroPages
+	return c.zeroBlocks.Load(), c.zeroPages.Load()
 }
 
 // Unmaps returns the number of blocks whose PTEs were destroyed.
 func (c *Collector) Unmaps() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.unmapBlocks
+	return c.unmapBlocks.Load()
 }
 
 // Maps returns the number of blocks whose PTEs were established.
 func (c *Collector) Maps() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.mapBlocks
+	return c.mapBlocks.Load()
 }
 
 // Discards returns (calls, blocksCovered).
 func (c *Collector) Discards() (calls, blocks int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.discardCalls, c.discardBlocks
+	return c.discardCalls.Load(), c.discardBlocks.Load()
 }
 
 // APITime returns accumulated host time for a named API.
@@ -526,62 +474,83 @@ func (c *Collector) APITime(api string) sim.Time {
 
 // Reset zeroes all counters.
 func (c *Collector) Reset() {
+	for dir := Direction(0); dir < numDirections; dir++ {
+		for cause := Cause(0); cause < numCauses; cause++ {
+			c.bytes[dir][cause].Store(0)
+			c.ops[dir][cause].Store(0)
+		}
+	}
+	for es := EvictSource(0); es < numEvictSources; es++ {
+		c.evicts[es].Store(0)
+	}
+	c.savedH2D.Store(0)
+	c.savedD2H.Store(0)
+	c.peerBytes.Store(0)
+	c.peerOps.Store(0)
+	c.peerSaved.Store(0)
+	c.faultBatches.Store(0)
+	c.faultedBlocks.Store(0)
+	c.zeroBlocks.Store(0)
+	c.zeroPages.Store(0)
+	c.unmapBlocks.Store(0)
+	c.mapBlocks.Store(0)
+	c.discardCalls.Store(0)
+	c.discardBlocks.Store(0)
+	c.migrateRetries.Store(0)
+	c.unmapRetries.Store(0)
+	c.faultReplays.Store(0)
+	c.degradedBlocks.Store(0)
+	c.degradedBytes.Store(0)
+	c.poisonedChunks.Store(0)
+	c.poisonLost.Store(0)
+	c.poisonSaved.Store(0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.bytes = [numDirections][numCauses]uint64{}
-	c.ops = [numDirections][numCauses]int64{}
-	c.evicts = [numEvictSources]int64{}
-	c.savedH2D, c.savedD2H = 0, 0
-	c.peerBytes, c.peerOps, c.peerSaved = 0, 0, 0
-	c.faultBatches, c.faultedBlocks = 0, 0
-	c.zeroBlocks, c.zeroPages = 0, 0
-	c.unmapBlocks, c.mapBlocks = 0, 0
-	c.discardCalls, c.discardBlocks = 0, 0
-	c.migrateRetries, c.unmapRetries, c.faultReplays = 0, 0, 0
-	c.degradedBlocks, c.degradedBytes = 0, 0
-	c.poisonedChunks, c.poisonLost, c.poisonSaved = 0, 0, 0
 	c.devRes = nil
 	c.apiTime = make(map[string]sim.Time)
 }
 
-// Snapshot returns an independent copy of the collector's current state,
-// taken atomically. The copy is detached: later additions to c do not show
-// up in it, so a live-progress reporter can render a consistent view while
-// the run continues.
+// Snapshot returns an independent copy of the collector's current state.
+// The copy is detached: later additions to c do not show up in it, so a
+// live-progress reporter can render a consistent view while the run
+// continues. Each counter is read atomically; a snapshot of a collector
+// whose run has finished is exact.
 func (c *Collector) Snapshot() *Collector {
+	s := &Collector{}
+	for dir := Direction(0); dir < numDirections; dir++ {
+		for cause := Cause(0); cause < numCauses; cause++ {
+			s.bytes[dir][cause].Store(c.bytes[dir][cause].Load())
+			s.ops[dir][cause].Store(c.ops[dir][cause].Load())
+		}
+	}
+	for es := EvictSource(0); es < numEvictSources; es++ {
+		s.evicts[es].Store(c.evicts[es].Load())
+	}
+	s.savedH2D.Store(c.savedH2D.Load())
+	s.savedD2H.Store(c.savedD2H.Load())
+	s.peerBytes.Store(c.peerBytes.Load())
+	s.peerOps.Store(c.peerOps.Load())
+	s.peerSaved.Store(c.peerSaved.Load())
+	s.faultBatches.Store(c.faultBatches.Load())
+	s.faultedBlocks.Store(c.faultedBlocks.Load())
+	s.zeroBlocks.Store(c.zeroBlocks.Load())
+	s.zeroPages.Store(c.zeroPages.Load())
+	s.unmapBlocks.Store(c.unmapBlocks.Load())
+	s.mapBlocks.Store(c.mapBlocks.Load())
+	s.discardCalls.Store(c.discardCalls.Load())
+	s.discardBlocks.Store(c.discardBlocks.Load())
+	s.migrateRetries.Store(c.migrateRetries.Load())
+	s.unmapRetries.Store(c.unmapRetries.Load())
+	s.faultReplays.Store(c.faultReplays.Load())
+	s.degradedBlocks.Store(c.degradedBlocks.Load())
+	s.degradedBytes.Store(c.degradedBytes.Load())
+	s.poisonedChunks.Store(c.poisonedChunks.Load())
+	s.poisonLost.Store(c.poisonLost.Load())
+	s.poisonSaved.Store(c.poisonSaved.Load())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := &Collector{
-		bytes:         c.bytes,
-		ops:           c.ops,
-		evicts:        c.evicts,
-		savedH2D:      c.savedH2D,
-		savedD2H:      c.savedD2H,
-		peerBytes:     c.peerBytes,
-		peerOps:       c.peerOps,
-		peerSaved:     c.peerSaved,
-		faultBatches:  c.faultBatches,
-		faultedBlocks: c.faultedBlocks,
-		zeroBlocks:    c.zeroBlocks,
-		zeroPages:     c.zeroPages,
-		unmapBlocks:   c.unmapBlocks,
-		mapBlocks:     c.mapBlocks,
-		discardCalls:  c.discardCalls,
-		discardBlocks: c.discardBlocks,
-
-		migrateRetries: c.migrateRetries,
-		unmapRetries:   c.unmapRetries,
-		faultReplays:   c.faultReplays,
-		degradedBlocks: c.degradedBlocks,
-		degradedBytes:  c.degradedBytes,
-		poisonedChunks: c.poisonedChunks,
-		poisonLost:     c.poisonLost,
-		poisonSaved:    c.poisonSaved,
-
-		devRes: append([]DeviceResidency(nil), c.devRes...),
-
-		apiTime: make(map[string]sim.Time, len(c.apiTime)),
-	}
+	s.devRes = append([]DeviceResidency(nil), c.devRes...)
+	s.apiTime = make(map[string]sim.Time, len(c.apiTime))
 	for k, v := range c.apiTime {
 		s.apiTime[k] = v
 	}
@@ -590,47 +559,49 @@ func (c *Collector) Snapshot() *Collector {
 
 // Summary renders a human-readable multi-line report.
 func (c *Collector) Summary() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "traffic: total %.2f GB (H2D %.2f GB, D2H %.2f GB)\n",
-		units.GB(c.totalBytesLocked(H2D)+c.totalBytesLocked(D2H)),
-		units.GB(c.totalBytesLocked(H2D)), units.GB(c.totalBytesLocked(D2H)))
+		units.GB(c.TotalBytes(H2D)+c.TotalBytes(D2H)),
+		units.GB(c.TotalBytes(H2D)), units.GB(c.TotalBytes(D2H)))
 	for dir := Direction(0); dir < numDirections; dir++ {
 		for cause := Cause(0); cause < numCauses; cause++ {
-			if c.bytes[dir][cause] == 0 {
+			n := c.bytes[dir][cause].Load()
+			if n == 0 {
 				continue
 			}
 			fmt.Fprintf(&b, "  %s/%s: %.2f GB in %d ops\n",
-				dir, cause, units.GB(c.bytes[dir][cause]), c.ops[dir][cause])
+				dir, cause, units.GB(n), c.ops[dir][cause].Load())
 		}
 	}
 	fmt.Fprintf(&b, "saved by discard: H2D %.2f GB, D2H %.2f GB\n",
-		units.GB(c.savedH2D), units.GB(c.savedD2H))
-	if c.peerBytes > 0 || c.peerSaved > 0 {
+		units.GB(c.savedH2D.Load()), units.GB(c.savedD2H.Load()))
+	if c.peerBytes.Load() > 0 || c.peerSaved.Load() > 0 {
 		fmt.Fprintf(&b, "peer (GPU-GPU): %.2f GB in %d ops; saved by discard %.2f GB\n",
-			units.GB(c.peerBytes), c.peerOps, units.GB(c.peerSaved))
+			units.GB(c.peerBytes.Load()), c.peerOps.Load(), units.GB(c.peerSaved.Load()))
 	}
 	fmt.Fprintf(&b, "evictions: free %d, unused %d, discarded %d, lru %d\n",
-		c.evicts[EvictFree], c.evicts[EvictUnused], c.evicts[EvictDiscarded], c.evicts[EvictLRU])
+		c.evicts[EvictFree].Load(), c.evicts[EvictUnused].Load(),
+		c.evicts[EvictDiscarded].Load(), c.evicts[EvictLRU].Load())
 	fmt.Fprintf(&b, "faults: %d batches, %d blocks; zero-fill: %d blocks + %d pages\n",
-		c.faultBatches, c.faultedBlocks, c.zeroBlocks, c.zeroPages)
+		c.faultBatches.Load(), c.faultedBlocks.Load(), c.zeroBlocks.Load(), c.zeroPages.Load())
 	fmt.Fprintf(&b, "PTE ops: %d unmapped, %d mapped; discards: %d calls over %d blocks\n",
-		c.unmapBlocks, c.mapBlocks, c.discardCalls, c.discardBlocks)
+		c.unmapBlocks.Load(), c.mapBlocks.Load(), c.discardCalls.Load(), c.discardBlocks.Load())
 	// Resilience lines appear only when fault injection actually fired, so
 	// fault-free runs render byte-identical summaries to earlier versions.
-	if c.migrateRetries > 0 || c.unmapRetries > 0 || c.faultReplays > 0 {
+	if c.migrateRetries.Load() > 0 || c.unmapRetries.Load() > 0 || c.faultReplays.Load() > 0 {
 		fmt.Fprintf(&b, "fault recovery: %d migrate retries, %d unmap reissues, %d replayed fault rounds\n",
-			c.migrateRetries, c.unmapRetries, c.faultReplays)
+			c.migrateRetries.Load(), c.unmapRetries.Load(), c.faultReplays.Load())
 	}
-	if c.degradedBlocks > 0 {
+	if c.degradedBlocks.Load() > 0 {
 		fmt.Fprintf(&b, "degraded to host-pinned: %d transfers, %.2f GB\n",
-			c.degradedBlocks, units.GB(c.degradedBytes))
+			c.degradedBlocks.Load(), units.GB(c.degradedBytes.Load()))
 	}
-	if c.poisonedChunks > 0 {
+	if c.poisonedChunks.Load() > 0 {
 		fmt.Fprintf(&b, "poisoned chunks: %d quarantined (%.2f GB recovered from host, %.2f GB lost)\n",
-			c.poisonedChunks, units.GB(c.poisonSaved), units.GB(c.poisonLost))
+			c.poisonedChunks.Load(), units.GB(c.poisonSaved.Load()), units.GB(c.poisonLost.Load()))
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.apiTime) > 0 {
 		names := make([]string, 0, len(c.apiTime))
 		for k := range c.apiTime {

@@ -65,19 +65,30 @@ func NewLink(gen Generation, peak float64, latency sim.Time) *Link {
 	return &Link{gen: gen, peak: peak, latency: latency}
 }
 
+// Preset links are immutable after construction (Link has no setters), so
+// each generation is built once and shared by every caller — experiment
+// sweeps request a preset per run.
+var (
+	gen3Preset   = NewLink(Gen3, 12.3e9, sim.Micros(18))
+	gen4Preset   = NewLink(Gen4, 24.7e9, sim.Micros(15))
+	nvlinkPreset = func() *Link {
+		l := NewLink(GenNVLink, 63e9, sim.Micros(9))
+		l.coherent = true
+		return l
+	}()
+)
+
 // Preset returns the link model for a PCIe generation, calibrated so that
 // the Figure 4 curve saturates near 12.3 GB/s (Gen3) and 24.7 GB/s (Gen4)
 // with the knee between 256 KiB and 2 MiB.
 func Preset(gen Generation) *Link {
 	switch gen {
 	case Gen3:
-		return NewLink(Gen3, 12.3e9, sim.Micros(18))
+		return gen3Preset
 	case Gen4:
-		return NewLink(Gen4, 24.7e9, sim.Micros(15))
+		return gen4Preset
 	case GenNVLink:
-		l := NewLink(GenNVLink, 63e9, sim.Micros(9))
-		l.coherent = true
-		return l
+		return nvlinkPreset
 	default:
 		panic(fmt.Sprintf("pcie: unknown generation %d", int(gen)))
 	}

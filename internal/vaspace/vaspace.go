@@ -209,14 +209,51 @@ func (a *Alloc) Blocks() []*Block {
 // true only blocks *fully* contained in the range are returned — the §5.4
 // rule that discard prefers full 2 MiB regions and ignores partial ones.
 func (a *Alloc) BlockRange(off, length units.Size, whole bool) ([]*Block, error) {
+	first, last, err := a.blockSpan(off, length, whole)
+	if err != nil || last < first {
+		return nil, err
+	}
+	out := make([]*Block, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		out = append(out, &a.blocks[i])
+	}
+	return out, nil
+}
+
+// AppendBlockRange is BlockRange appending into a caller-provided slice,
+// for hot paths that reuse a scratch buffer across calls instead of
+// allocating a fresh slice per access (BlockRange was 40% of all driver
+// allocations). The appended-to slice is returned; on error or an empty
+// span dst is returned unchanged.
+func (a *Alloc) AppendBlockRange(dst []*Block, off, length units.Size, whole bool) ([]*Block, error) {
+	first, last, err := a.blockSpan(off, length, whole)
+	if err != nil {
+		return dst, err
+	}
+	for i := first; i <= last; i++ {
+		dst = append(dst, &a.blocks[i])
+	}
+	return dst, nil
+}
+
+// BlockSpan resolves [off, off+length) to inclusive block indices; an
+// empty span is reported as last < first. Hot paths that only need to
+// *visit* the covered blocks iterate the span with Block(i) instead of
+// materializing a []*Block.
+func (a *Alloc) BlockSpan(off, length units.Size, whole bool) (first, last int, err error) {
+	return a.blockSpan(off, length, whole)
+}
+
+// blockSpan resolves [off, off+length) to inclusive block indices; an
+// empty span is reported as last < first.
+func (a *Alloc) blockSpan(off, length units.Size, whole bool) (first, last int, err error) {
 	if off+length > a.size {
-		return nil, fmt.Errorf("vaspace: range [%d,+%d) outside %s (size %d)",
+		return 0, -1, fmt.Errorf("vaspace: range [%d,+%d) outside %s (size %d)",
 			off, length, a.name, a.size)
 	}
 	if length == 0 {
-		return nil, nil
+		return 0, -1, nil
 	}
-	var first, last int // inclusive block indices
 	if whole {
 		firstByte := units.AlignUp(off, units.BlockSize)
 		lastByte := units.AlignDown(off+length, units.BlockSize)
@@ -226,19 +263,11 @@ func (a *Alloc) BlockRange(off, length units.Size, whole bool) ([]*Block, error)
 			lastByte = a.size
 		}
 		if lastByte <= firstByte {
-			return nil, nil
+			return 0, -1, nil
 		}
-		first = int(firstByte / units.BlockSize)
-		last = units.BlocksIn(lastByte) - 1
-	} else {
-		first = int(off / units.BlockSize)
-		last = int((off + length - 1) / units.BlockSize)
+		return int(firstByte / units.BlockSize), units.BlocksIn(lastByte) - 1, nil
 	}
-	out := make([]*Block, 0, last-first+1)
-	for i := first; i <= last; i++ {
-		out = append(out, &a.blocks[i])
-	}
-	return out, nil
+	return int(off / units.BlockSize), int((off + length - 1) / units.BlockSize), nil
 }
 
 // Data returns the allocation's backing bytes, allocating them on first
@@ -279,7 +308,13 @@ type Space struct {
 // NewSpace returns an empty address space. VAs start above zero so that
 // address 0 is never valid.
 func NewSpace() *Space {
-	return &Space{nextVA: uint64(units.BlockSize), allocs: make(map[int]*Alloc)}
+	// Pre-size for a typical workload's handful of buffers so the first few
+	// Alloc calls don't grow the map and ordered list step by step.
+	return &Space{
+		nextVA:  uint64(units.BlockSize),
+		allocs:  make(map[int]*Alloc, 8),
+		ordered: make([]*Alloc, 0, 8),
+	}
 }
 
 // Alloc reserves size bytes of 2 MiB-aligned virtual address space.

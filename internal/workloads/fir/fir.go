@@ -84,6 +84,12 @@ func Run(p workloads.Platform, sys workloads.System, cfg Config) (res workloads.
 	copyStream := ctx.Stream("copy")
 	computeStream := ctx.Stream("compute")
 
+	// One access list reused across windows: only the window offset/length
+	// change per launch, so the slice is built once instead of per kernel.
+	accesses := []cuda.Access{
+		{Buf: in, Mode: core.Read},
+		{Buf: out, Mode: core.Write},
+	}
 	for off := units.Size(0); off < cfg.InputBytes; off += cfg.WindowBytes {
 		win := cfg.WindowBytes
 		if off+win > cfg.InputBytes {
@@ -101,13 +107,12 @@ func Run(p workloads.Platform, sys workloads.System, cfg Config) (res workloads.
 		copyStream.RecordEvent(ready)
 		computeStream.WaitEvent(ready)
 
+		accesses[0].Offset, accesses[0].Length = off, win
+		accesses[1].Offset, accesses[1].Length = off, win
 		err := computeStream.Launch(cuda.Kernel{
-			Name:    "fir",
-			Compute: sim.TransferTime(uint64(win), cfg.FilterRate),
-			Accesses: []cuda.Access{
-				{Buf: in, Offset: off, Length: win, Mode: core.Read},
-				{Buf: out, Offset: off, Length: win, Mode: core.Write},
-			},
+			Name:     "fir",
+			Compute:  sim.TransferTime(uint64(win), cfg.FilterRate),
+			Accesses: accesses,
 		})
 		if err != nil {
 			return workloads.Result{}, err
