@@ -12,10 +12,19 @@
 //	uvmsim -workload fir -ovsp 200 -json
 //	uvmsim -workload radixsort -ovsp 200 -faults seed=7,dma=0.05,unmap=0.01,fbcap=4
 //	uvmsim -workload fir -ovsp 400 -cpuprofile cpu.out -memprofile mem.out
+//	uvmsim -workload fir -ovsp 200 -checkpoint-out run.ckpt
+//	uvmsim -workload fir -ovsp 200 -restore run.ckpt -checkpoint-out run.ckpt
 //
 // The -cpuprofile/-memprofile flags write pprof profiles of the run, the
 // entry point `make profile` uses to attribute driver hot-path time
 // (DESIGN.md §15).
+//
+// The -checkpoint-out/-restore flags (fir only) persist and resume the live
+// simulation: -checkpoint-out durably rewrites a versioned, checksummed
+// snapshot of the whole driver/engine/RNG state at every step boundary, and
+// -restore resumes from such a snapshot, producing output byte-identical to
+// an uninterrupted run (DESIGN.md §16). A torn or corrupt snapshot is
+// rejected — the run restarts from zero rather than resume wrong state.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"uvmdiscard/internal/checkpoint"
 	"uvmdiscard/internal/dnn"
 	"uvmdiscard/internal/faultinject"
 	"uvmdiscard/internal/gpudev"
@@ -59,8 +69,15 @@ func main() {
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. seed=7,dma=0.02,unmap=0.005,poison=0.001,fbcap=8,slow=pcie@1ms+5ms*3")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
+		ckptOut  = flag.String("checkpoint-out", "", "fir: durably write a simulation snapshot to this file at every step boundary")
+		restore  = flag.String("restore", "", "fir: resume from a snapshot file written by -checkpoint-out")
 	)
 	flag.Parse()
+
+	ckptEnv, err := checkpointEnv(*ckptOut, *restore, *workload, *faults)
+	if err != nil {
+		fail(err)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -102,7 +119,12 @@ func main() {
 
 	switch strings.ToLower(*workload) {
 	case "fir":
-		report(fir.Run(p, sys, fir.DefaultConfig()))
+		res, err := fir.RunCheckpointed(p, sys, fir.DefaultConfig(), ckptEnv)
+		if ckptEnv != nil && ckptEnv.Stats.Resumed {
+			fmt.Fprintf(os.Stderr, "uvmsim: resumed from step %d (%d steps executed this run)\n",
+				ckptEnv.Stats.ResumedFrom, ckptEnv.Stats.StepsExecuted)
+		}
+		report(res, err)
 	case "radixsort", "radix":
 		report(radixsort.Run(p, sys, radixsort.DefaultConfig()))
 	case "hashjoin", "hash":
@@ -138,6 +160,39 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown workload %q", *workload))
 	}
+}
+
+// checkpointEnv wires the -checkpoint-out/-restore flags into a checkpoint
+// environment, or nil when neither flag is set. Both are fir-only: the
+// snapshot digest covers the whole deterministic simulation, which rules out
+// fault injection, and the step-boundary consistency points are fir's.
+func checkpointEnv(out, restore, workload, faults string) (*checkpoint.Env, error) {
+	if out == "" && restore == "" {
+		return nil, nil
+	}
+	if wl := strings.ToLower(workload); wl != "fir" {
+		return nil, fmt.Errorf("-checkpoint-out/-restore support the fir workload only (got %q)", workload)
+	}
+	if faults != "" {
+		return nil, fmt.Errorf("-checkpoint-out/-restore cannot be combined with -faults")
+	}
+	env := &checkpoint.Env{
+		OnReject: func(reason string) {
+			fmt.Fprintf(os.Stderr, "uvmsim: checkpoint %s rejected (%s); restarting from zero\n", restore, reason)
+		},
+	}
+	if out != "" {
+		env.Every = 1
+		env.Save = func(blob []byte) error { return checkpoint.WriteFile(out, blob) }
+	}
+	if restore != "" {
+		blob, err := checkpoint.ReadFile(restore)
+		if err != nil {
+			return nil, fmt.Errorf("read checkpoint: %w", err)
+		}
+		env.Restore = blob
+	}
+	return env, nil
 }
 
 func parseSystem(s string) (workloads.System, error) {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSmokeCheckpointResume is the per-run crash-safety acceptance test: a
+// checkpointed fir run interrupted mid-job leaves an fsync'd snapshot under
+// -data-dir; the whole daemon is then SIGKILL'd (no drain, no goodbye), and
+// a fresh daemon over the same data dir, given the identical submission,
+// resumes from the snapshot and renders output byte-identical to an
+// uninterrupted run.
+//
+// The interruption is a 140ms sim budget: quick fir spends ~133ms of
+// simulated time on host input generation, snapshots all 8 step boundaries
+// while the windows are issued, and finishes near 160ms — so the budget
+// always fires during the final drain, after snapshots exist.
+
+func (d *daemon) submitRun(t *testing.T, body map[string]any) smokeJob {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(d.base+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var js smokeJob
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit run: %d (%+v)", resp.StatusCode, js)
+	}
+	return js
+}
+
+// waitJobState polls until the job reaches one of the wanted terminal
+// states, failing on any other terminal state.
+func (d *daemon) waitJobState(t *testing.T, id string, timeout time.Duration, want ...string) smokeJob {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last smokeJob
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&last)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range want {
+			if last.State == w {
+				return last
+			}
+		}
+		switch last.State {
+		case "done", "failed", "canceled", "deadline_expired", "budget_expired", "shed":
+			t.Fatalf("job %s ended %s, want one of %v: %+v", id, last.State, want, last)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v (last: %+v)", id, want, last)
+	return smokeJob{}
+}
+
+func TestSmokeCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildUvmsimd(t)
+	dataDir := t.TempDir()
+	ckptPath := filepath.Join(dataDir, "smoke.ckpt")
+
+	run := map[string]any{"workload": "fir", "quick": true, "checkpoint": "smoke"}
+	interrupted := map[string]any{
+		"workload": "fir", "quick": true, "checkpoint": "smoke", "sim_budget_ms": 140,
+	}
+
+	// Phase 1: the run is interrupted by its sim budget, leaving a durable
+	// snapshot; the daemon is then killed with SIGKILL.
+	d1 := startDaemon(t, bin, t.TempDir(), "-data-dir", dataDir)
+	j1 := d1.submitRun(t, interrupted)
+	d1.waitJobState(t, j1.ID, 2*time.Minute, "budget_expired")
+	if fi, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("interrupted run left no snapshot: %v", err)
+	} else {
+		t.Logf("killed daemon with a %d-byte snapshot on disk", fi.Size())
+	}
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no fsync help
+		t.Fatal(err)
+	}
+	_, _ = d1.cmd.Process.Wait()
+
+	// Phase 2: a fresh daemon over the same data dir resumes the run.
+	d2 := startDaemon(t, bin, t.TempDir(), "-data-dir", dataDir)
+	ref := d2.submitRun(t, map[string]any{"workload": "fir", "quick": true})
+	want := d2.waitJobState(t, ref.ID, 2*time.Minute, "done")
+
+	j2 := d2.submitRun(t, run)
+	got := d2.waitJobState(t, j2.ID, 2*time.Minute, "done")
+	if got.Resumed < 1 {
+		t.Errorf("resumed = %d, want >= 1 (snapshot survived the SIGKILL)", got.Resumed)
+	}
+	if got.Output != want.Output {
+		t.Errorf("resumed run output is not byte-identical to an uninterrupted run\n--- got ---\n%s\n--- want ---\n%s",
+			got.Output, want.Output)
+	}
+	// A clean completion reclaims the snapshot.
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Errorf("finished run's snapshot not deleted (stat err %v)", err)
+	}
+}

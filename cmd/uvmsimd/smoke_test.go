@@ -38,14 +38,16 @@ func buildUvmsimd(t *testing.T) string {
 
 // startDaemon launches uvmsimd on an ephemeral port and parses the listen
 // address from its banner line.
-func startDaemon(t *testing.T, bin, journalDir string) *daemon {
+func startDaemon(t *testing.T, bin, journalDir string, extraArgs ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-journal-dir", journalDir,
 		"-workers", "1",
 		"-wall-budget", "5m",
-	)
+	}
+	args = append(args, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -11,6 +11,9 @@
 //   - (*os.File).Sync — every fsync path
 //   - runctl.Control.Check — the returned *Interrupt is the deadline/
 //     cancellation verdict; dropping it keeps a dead job running
+//   - checkpoint.WriteFile — the durable snapshot a crash resume replays
+//     from; a dropped error means the resume silently starts from stale
+//     or missing state
 //
 // A call is "discarded" when it stands alone as a statement, is deferred
 // or spawned (`defer j.Close()`, `go j.Close()`), or is assigned entirely
@@ -36,8 +39,9 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// mustCheck lists the crash-safety methods by receiver package path,
-// receiver type, and method name.
+// mustCheck lists the crash-safety calls by package path, receiver type,
+// and name. An empty recv marks a package-level function rather than a
+// method.
 var mustCheck = []struct{ pkg, recv, name, why string }{
 	{"uvmdiscard/internal/experiments", "Journal", "Record", "a dropped journal write breaks crash-safe resume"},
 	{"uvmdiscard/internal/experiments", "Journal", "Close", "a dropped close can lose buffered journal state"},
@@ -45,6 +49,7 @@ var mustCheck = []struct{ pkg, recv, name, why string }{
 	{"uvmdiscard/internal/jsonl", "Appender", "Close", "a dropped close can lose buffered log state"},
 	{"os", "File", "Sync", "an unchecked fsync is not durable"},
 	{"uvmdiscard/internal/runctl", "Control", "Check", "the *Interrupt is the cancellation verdict; dropping it keeps a dead job running"},
+	{"uvmdiscard/internal/checkpoint", "", "WriteFile", "a dropped snapshot write means a crash resume replays stale or missing state"},
 }
 
 func run(pass *analysis.Pass) error {
@@ -83,11 +88,20 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			recv := analysis.ReceiverNamed(fn)
-			if recv == nil {
-				return true
-			}
 			for _, m := range mustCheck {
-				if fn.Name() == m.name && recv.Obj().Name() == m.recv &&
+				if fn.Name() != m.name {
+					continue
+				}
+				if m.recv == "" {
+					if !analysis.IsPkgFunc(fn, m.pkg, m.name) {
+						continue
+					}
+					pass.Reportf(call.Pos(),
+						"result of %s.%s %s: %s — handle it or suppress with a justification",
+						shortPkg(m.pkg), m.name, how, m.why)
+					break
+				}
+				if recv != nil && recv.Obj().Name() == m.recv &&
 					analysis.ObjPkgPath(recv.Obj()) == m.pkg {
 					pass.Reportf(call.Pos(),
 						"result of (%s.%s).%s %s: %s — handle it or suppress with a justification",

@@ -1,10 +1,12 @@
 // Package app seeds errsink violations against the real crash-safety
-// surface: the experiments journal, fsync, and the runctl interrupt check.
+// surface: the experiments journal, fsync, the runctl interrupt check, and
+// the checkpoint snapshot writer.
 package app
 
 import (
 	"os"
 
+	"uvmdiscard/internal/checkpoint"
 	"uvmdiscard/internal/experiments"
 	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
@@ -18,6 +20,9 @@ func Drop(j *experiments.Journal, f *os.File, c *runctl.Control, r experiments.R
 	_ = f.Sync()     // want `result of \(os.File\).Sync assigned to _`
 	c.Check("op", 0) // want `result of \(runctl.Control\).Check discarded`
 	defer j.Close()  // want `result of \(experiments.Journal\).Close discarded by defer`
+
+	checkpoint.WriteFile("x.ckpt", nil)     // want `result of checkpoint.WriteFile discarded`
+	_ = checkpoint.WriteFile("x.ckpt", nil) // want `result of checkpoint.WriteFile assigned to _`
 }
 
 // Handle consumes every result; no findings.
@@ -30,6 +35,9 @@ func Handle(j *experiments.Journal, f *os.File, c *runctl.Control, r experiments
 	}
 	if i := c.Check("op", sim.Time(0)); i != nil {
 		runctl.Abort(i)
+	}
+	if err := checkpoint.WriteFile("x.ckpt", nil); err != nil {
+		return err
 	}
 	return j.Close()
 }
@@ -48,4 +56,11 @@ func (fakeJournal) Close() error { return nil }
 
 func Quiet(j fakeJournal) {
 	j.Close()
+}
+
+// A same-named local function is not the checkpoint writer.
+func WriteFile(path string, blob []byte) error { return nil }
+
+func QuietFunc() {
+	WriteFile("x", nil)
 }

@@ -1,0 +1,121 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("uvm"), 10_000)} {
+		blob, err := Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("decode after encode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload round-trip mismatch: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestEnvelopeRejectsOversizedPayload(t *testing.T) {
+	if _, err := Encode(make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload encoded")
+	}
+}
+
+func TestEnvelopeDetectsCorruption(t *testing.T) {
+	blob, err := Encode([]byte(`{"step": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("torn tails", func(t *testing.T) {
+		for n := 0; n < len(blob); n++ {
+			if _, err := Decode(blob[:n]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded", n, len(blob))
+			}
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		for i := 0; i < len(blob); i++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := bytes.Clone(blob)
+				mut[i] ^= 1 << bit
+				if _, err := Decode(mut); err == nil {
+					t.Fatalf("flipping byte %d bit %d went undetected", i, bit)
+				}
+			}
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		mut := bytes.Clone(blob)
+		binary.LittleEndian.PutUint32(mut[len(magic):], version+1)
+		if _, err := Decode(mut); err == nil {
+			t.Fatal("future format version decoded")
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		mut := bytes.Clone(blob)
+		binary.LittleEndian.PutUint64(mut[len(magic)+4:], MaxPayload+1)
+		if _, err := Decode(mut); err == nil {
+			t.Fatal("length beyond cap decoded")
+		}
+	})
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+	blob, err := Encode([]byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("read back different bytes")
+	}
+	// Overwrite must replace atomically and leave no temp debris.
+	blob2, err := Encode([]byte("state2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, blob2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadFile(path); err != nil || !bytes.Equal(got, blob2) {
+		t.Fatalf("overwrite: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after two writes, want 1", len(ents))
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	blob, err := Encode([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f.ckpt"), blob); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

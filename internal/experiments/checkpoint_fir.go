@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uvmdiscard/internal/gpudev"
+	"uvmdiscard/internal/pcie"
+	"uvmdiscard/internal/units"
+	"uvmdiscard/internal/workloads"
+	"uvmdiscard/internal/workloads/fir"
+)
+
+func init() {
+	register(Experiment{ID: "X10", Name: "checkpoint-fir", Run: runCheckpointFIR})
+}
+
+// runCheckpointFIR is the checkpoint-aware FIR run backing the
+// crash-survivable service jobs: a single UvmDiscard run at 200%
+// oversubscription that honors Options.Checkpoint — resuming from a prior
+// snapshot when one is supplied and capturing new ones at the configured
+// cadence. The rendered table carries ONLY the deterministic simulation
+// result: a run resumed from any snapshot must produce the exact bytes of
+// an uninterrupted run, and the fleet coordinator byte-compares duplicate
+// reports, so attempt-local provenance (steps re-executed, resume point,
+// capture count) deliberately stays out of the artifact. Callers read it
+// from Options.Checkpoint.Stats instead; the fleet layer surfaces it
+// through worker logs and the uvmfleet_checkpoint_* counters.
+func runCheckpointFIR(o Options) (*Table, error) {
+	cfg := fir.DefaultConfig()
+	p := workloads.Platform{GPU: gpudev.RTX3080Ti(), Gen: pcie.Gen4, OversubPercent: 200}
+	if o.Quick {
+		// 24 windows: enough step boundaries for mid-job kills to land
+		// between checkpoints while the run still finishes in well under a
+		// second.
+		cfg = fir.Config{InputBytes: 768 * units.MiB, WindowBytes: 32 * units.MiB, FilterRate: 28e9}
+		p.GPU = gpudev.Generic(1536 * units.MiB)
+	}
+	p = o.arm(p)
+	r, err := fir.RunCheckpointed(p, workloads.UvmDiscard, cfg, o.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	steps := int((cfg.InputBytes + cfg.WindowBytes - 1) / cfg.WindowBytes)
+	t := &Table{
+		ID:     "X10",
+		Title:  "Extension (robustness): checkpointed FIR @200% (resumes byte-identical mid-job)",
+		Header: []string{"System", "Runtime", "Traffic GB", "Saved D2H GB", "Steps"},
+	}
+	t.AddRow(workloads.UvmDiscard.String(), r.Runtime.String(), fmtGB(r.TrafficBytes),
+		fmtGB(r.SavedD2H), fmt.Sprintf("%d", steps))
+	return t, nil
+}

@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
-		"F3", "F4", "F5", "F6", "F7", "A1", "A2", "A3", "A4", "A5", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"}
+		"F3", "F4", "F5", "F6", "F7", "A1", "A2", "A3", "A4", "A5", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X10"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,392 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uvmdiscard/internal/checkpoint"
+)
+
+// The checkpoint chaos tests: a worker is SIGKILL'd deterministically right
+// after its Nth snapshot upload lands at the coordinator, the lease expires,
+// and a replacement worker picks the job up WITH the stored snapshot. The
+// invariants:
+//
+//   - the resumed run's recorded output is byte-identical to an
+//     uninterrupted run of the same spec;
+//   - the resumed attempt re-executes strictly fewer steps than the full
+//     run (the snapshot's steps were not re-simulated);
+//   - a corrupt stored snapshot is rejected — never silently resumed — and
+//     the attempt falls back to a from-zero run that still produces the
+//     exact reference bytes, with the corruption counted.
+
+// ckptSpec is the one checkpoint-aware quick artifact (24 windows of FIR).
+var ckptSpec = JobSpec{Tenant: "ckpt", Experiment: "X10", Quick: true}
+
+// ckptAttempt records what one runner invocation did with its checkpoint
+// environment, captured after the run returns.
+type ckptAttempt struct {
+	worker string
+	stats  checkpoint.Stats
+	err    error
+}
+
+type ckptRecorder struct {
+	mu       sync.Mutex
+	attempts []ckptAttempt
+}
+
+func (r *ckptRecorder) add(a ckptAttempt) {
+	r.mu.Lock()
+	r.attempts = append(r.attempts, a)
+	r.mu.Unlock()
+}
+
+// snapshot returns a copy of the attempts seen so far.
+func (r *ckptRecorder) snapshot() []ckptAttempt {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ckptAttempt(nil), r.attempts...)
+}
+
+// recordingRunner wraps RunExperiment so the test can see each attempt's
+// checkpoint stats, and optionally kills the worker synchronously right
+// after the killAfter-th snapshot upload succeeds — a deterministic
+// mid-job SIGKILL landing between two step boundaries.
+func recordingRunner(name string, rec *ckptRecorder, killAfter int, kill func()) RunnerFunc {
+	return func(ctx context.Context, spec JobSpec, env *RunEnv) (string, error) {
+		if killAfter > 0 && env != nil && env.Checkpoint != nil && env.Checkpoint.Save != nil {
+			real := env.Checkpoint.Save
+			saved := 0
+			env.Checkpoint.Save = func(blob []byte) error {
+				err := real(blob)
+				if err == nil {
+					saved++
+					if saved == killAfter {
+						kill()
+					}
+				}
+				return err
+			}
+		}
+		out, err := RunExperiment(ctx, spec, env)
+		a := ckptAttempt{worker: name, err: err}
+		if env != nil && env.Checkpoint != nil {
+			a.stats = env.Checkpoint.Stats
+		}
+		rec.add(a)
+		return out, err
+	}
+}
+
+// ckptReference runs the spec uninterrupted in-process, returning the
+// ground-truth bytes and the total step count a full run executes.
+func ckptReference(t *testing.T) (string, int) {
+	t.Helper()
+	env := &RunEnv{Checkpoint: &checkpoint.Env{}}
+	out, err := RunExperiment(context.Background(), ckptSpec, env)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if env.Checkpoint.Stats.StepsExecuted == 0 {
+		t.Fatalf("reference run executed 0 steps; spec %+v is not checkpoint-aware", ckptSpec)
+	}
+	return out, env.Checkpoint.Stats.StepsExecuted
+}
+
+func ckptCoordConfig(t *testing.T, tag string) Config {
+	cfg := Config{
+		JournalPath:  t.TempDir() + "/fleet.journal",
+		LeaseTTL:     400 * time.Millisecond,
+		MaxAttempts:  10,
+		RetryBackoff: 25 * time.Millisecond,
+		MaxBackoff:   200 * time.Millisecond,
+		TenantQuota:  8,
+	}
+	if testing.Verbose() {
+		cfg.Log = log.New(os.Stderr, fmt.Sprintf("coord[%s]: ", tag), log.Lmicroseconds)
+	}
+	return cfg
+}
+
+// dumpChaosArtifacts registers a cleanup that, when the test has failed and
+// CHAOS_ARTIFACTS names a directory, writes the coordinator's counters, job
+// table, and every stored checkpoint blob there. CI's chaos matrix uploads
+// that directory on failure, so a red seed ships with the exact snapshot
+// state needed to replay it offline (decode with checkpoint.Decode, or hand
+// the blob to a local worker).
+func dumpChaosArtifacts(t *testing.T, cs *coordServer) {
+	t.Cleanup(func() {
+		dir := os.Getenv("CHAOS_ARTIFACTS")
+		if dir == "" || !t.Failed() {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("chaos artifacts: %v", err)
+			return
+		}
+		base := strings.ReplaceAll(t.Name(), "/", "_")
+		cs.mu.Lock()
+		coord := cs.coord
+		cs.mu.Unlock()
+		var sum strings.Builder
+		coord.mu.Lock()
+		fmt.Fprintf(&sum, "counters: %+v\n", coord.ctr)
+		ids := make([]string, 0, len(coord.jobs))
+		for id := range coord.jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			j := coord.jobs[id]
+			fmt.Fprintf(&sum, "job %s: state=%s attempt=%d worker=%q lastErr=%q checkpoint=%dB\n",
+				id, j.State, j.Attempt, j.Worker, j.LastErr, len(j.Checkpoint))
+			if len(j.Checkpoint) == 0 {
+				continue
+			}
+			name := filepath.Join(dir, fmt.Sprintf("%s-%s.ckpt", base, id))
+			if err := os.WriteFile(name, j.Checkpoint, 0o644); err != nil {
+				t.Logf("chaos artifacts: %v", err)
+			}
+		}
+		coord.mu.Unlock()
+		if err := os.WriteFile(filepath.Join(dir, base+".txt"), []byte(sum.String()), 0o644); err != nil {
+			t.Logf("chaos artifacts: %v", err)
+		}
+		t.Logf("chaos artifacts for %s written under %s", t.Name(), dir)
+	})
+}
+
+// awaitJobDone polls until the job completes, failing the test on permanent
+// failure or timeout.
+func awaitJobDone(t *testing.T, client *Client, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		st, err := client.Job(context.Background(), id)
+		if err == nil {
+			switch st.State {
+			case JobDone:
+				return st
+			case JobFailed:
+				t.Fatalf("job %s failed permanently after %d attempts: %s", id, st.Attempt, st.LastErr)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never completed (last err %v)", id, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestChaosFleetCheckpointResume(t *testing.T) {
+	refOut, totalSteps := ckptReference(t)
+
+	cs := startCoordServer(t, ckptCoordConfig(t, "ckpt-resume"))
+	defer cs.crash()
+	dumpChaosArtifacts(t, cs)
+	client := NewClient(cs.url())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	rec := &ckptRecorder{}
+
+	const killAfter = 3
+	var w1 *Worker
+	w1 = NewWorker(WorkerConfig{
+		Name:              "w1",
+		PollInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+		CheckpointEvery:   1,
+		Runner:            recordingRunner("w1", rec, killAfter, func() { w1.Kill() }),
+	}, client)
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w1.Run(ctx) }()
+
+	st, err := client.Submit(context.Background(), ckptSpec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Wait for the deterministic kill: w1 dies inside its killAfter-th
+	// successful snapshot upload, so the coordinator holds exactly that
+	// snapshot when the lease expires.
+	killDeadline := time.Now().Add(30 * time.Second)
+	for !w1.Killed() {
+		if time.Now().After(killDeadline) {
+			t.Fatalf("w1 was never killed; stored=%d", cs.counters().CheckpointsStored)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The replacement joins after the kill and must receive the snapshot.
+	w2 := NewWorker(WorkerConfig{
+		Name:              "w2",
+		PollInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+		CheckpointEvery:   1,
+		Runner:            recordingRunner("w2", rec, 0, nil),
+	}, client)
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w2.Run(ctx) }()
+
+	done := awaitJobDone(t, client, st.ID)
+	if done.Output != refOut {
+		t.Errorf("resumed job output diverged from uninterrupted run\ngot:\n%s\nwant:\n%s", done.Output, refOut)
+	}
+
+	// The successful attempt must have resumed, at or past the kill point,
+	// and re-executed strictly fewer steps than a full run.
+	var okRuns []ckptAttempt
+	for _, a := range rec.snapshot() {
+		if a.err == nil {
+			okRuns = append(okRuns, a)
+		}
+	}
+	if len(okRuns) != 1 {
+		t.Fatalf("want exactly 1 successful attempt, got %d: %+v", len(okRuns), okRuns)
+	}
+	got := okRuns[0]
+	if !got.stats.Resumed {
+		t.Errorf("successful attempt did not resume from the stored snapshot: %+v", got.stats)
+	}
+	if got.stats.ResumedFrom < killAfter {
+		t.Errorf("resumed from step %d, want >= %d (the snapshots stored before the kill)",
+			got.stats.ResumedFrom, killAfter)
+	}
+	if got.stats.StepsExecuted >= totalSteps {
+		t.Errorf("resumed attempt executed %d steps, want strictly fewer than the full run's %d",
+			got.stats.StepsExecuted, totalSteps)
+	}
+	if got.stats.StepsExecuted+got.stats.ResumedFrom != totalSteps {
+		t.Errorf("steps executed (%d) + resume point (%d) != total steps (%d)",
+			got.stats.StepsExecuted, got.stats.ResumedFrom, totalSteps)
+	}
+
+	ctr := cs.counters()
+	if ctr.CheckpointsStored < killAfter {
+		t.Errorf("checkpoints stored = %d, want >= %d", ctr.CheckpointsStored, killAfter)
+	}
+	if ctr.CheckpointResumes < 1 {
+		t.Errorf("checkpoint resumes = %d, want >= 1", ctr.CheckpointResumes)
+	}
+	if ctr.Mismatches != 0 {
+		t.Errorf("determinism violations: %d mismatched reports", ctr.Mismatches)
+	}
+	t.Logf("resumed at step %d/%d on %s: re-executed %d steps (saved %d), stored=%d resumes=%d",
+		got.stats.ResumedFrom, totalSteps, got.worker, got.stats.StepsExecuted,
+		got.stats.ResumedFrom, ctr.CheckpointsStored, ctr.CheckpointResumes)
+
+	cancel()
+	wg.Wait()
+}
+
+func TestChaosFleetCheckpointCorrupt(t *testing.T) {
+	refOut, totalSteps := ckptReference(t)
+
+	cs := startCoordServer(t, ckptCoordConfig(t, "ckpt-corrupt"))
+	defer cs.crash()
+	dumpChaosArtifacts(t, cs)
+	client := NewClient(cs.url())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	rec := &ckptRecorder{}
+
+	const killAfter = 2
+	var w1 *Worker
+	w1 = NewWorker(WorkerConfig{
+		Name:              "w1",
+		PollInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+		CheckpointEvery:   1,
+		Runner:            recordingRunner("w1", rec, killAfter, func() { w1.Kill() }),
+	}, client)
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w1.Run(ctx) }()
+
+	st, err := client.Submit(context.Background(), ckptSpec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	killDeadline := time.Now().Add(30 * time.Second)
+	for !w1.Killed() {
+		if time.Now().After(killDeadline) {
+			t.Fatalf("w1 was never killed; stored=%d", cs.counters().CheckpointsStored)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Corrupt the stored snapshot in place — a flipped payload bit, the
+	// disk-rot equivalent. The next attempt must detect it (checksum), tell
+	// the coordinator, and restart from zero.
+	cs.mu.Lock()
+	coord := cs.coord
+	cs.mu.Unlock()
+	coord.mu.Lock()
+	j := coord.jobs[st.ID]
+	if j == nil || len(j.Checkpoint) == 0 {
+		coord.mu.Unlock()
+		t.Fatalf("no stored checkpoint to corrupt (job %+v)", j)
+	}
+	j.Checkpoint[len(j.Checkpoint)-1] ^= 0x40
+	coord.mu.Unlock()
+
+	w2 := NewWorker(WorkerConfig{
+		Name:              "w2",
+		PollInterval:      20 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+		CheckpointEvery:   1,
+		Runner:            recordingRunner("w2", rec, 0, nil),
+	}, client)
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = w2.Run(ctx) }()
+
+	done := awaitJobDone(t, client, st.ID)
+	if done.Output != refOut {
+		t.Errorf("fallback job output diverged from uninterrupted run\ngot:\n%s\nwant:\n%s", done.Output, refOut)
+	}
+
+	var okRuns []ckptAttempt
+	for _, a := range rec.snapshot() {
+		if a.err == nil {
+			okRuns = append(okRuns, a)
+		}
+	}
+	if len(okRuns) != 1 {
+		t.Fatalf("want exactly 1 successful attempt, got %d: %+v", len(okRuns), okRuns)
+	}
+	got := okRuns[0]
+	if !got.stats.Rejected {
+		t.Errorf("corrupt snapshot was not rejected: %+v", got.stats)
+	}
+	if got.stats.Resumed {
+		t.Errorf("corrupt snapshot was silently resumed: %+v", got.stats)
+	}
+	if got.stats.StepsExecuted != totalSteps {
+		t.Errorf("fallback run executed %d steps, want the full run's %d", got.stats.StepsExecuted, totalSteps)
+	}
+
+	ctr := cs.counters()
+	if ctr.CheckpointsCorrupt < 1 {
+		t.Errorf("checkpoints corrupt = %d, want >= 1 (the rejection must be counted)", ctr.CheckpointsCorrupt)
+	}
+	if ctr.Mismatches != 0 {
+		t.Errorf("determinism violations: %d mismatched reports", ctr.Mismatches)
+	}
+	t.Logf("corrupt snapshot rejected on %s; from-zero rerun executed %d/%d steps, corrupt=%d",
+		got.worker, got.stats.StepsExecuted, totalSteps, ctr.CheckpointsCorrupt)
+
+	cancel()
+	wg.Wait()
+}

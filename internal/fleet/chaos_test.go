@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"uvmdiscard/internal/experiments"
-	"uvmdiscard/internal/runctl"
 	"uvmdiscard/internal/sim"
 )
 
@@ -81,13 +80,13 @@ func referenceOutputs(t *testing.T) map[string]string {
 // kills to land mid-job and for checkpoint-driven lease renewals to flow,
 // while the reported output stays exactly the single run's bytes.
 func chaosRunner(seed uint64) RunnerFunc {
-	return func(ctx context.Context, spec JobSpec, onControl func(*runctl.Control)) (string, error) {
+	return func(ctx context.Context, spec JobSpec, env *RunEnv) (string, error) {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%s/%s", spec.Tenant, spec.Experiment)
 		repeats := 2 + sim.NewRNG(seed).Fork(h.Sum64()).Intn(3) // 2..4, same for every attempt of a spec
 		var out string
 		for i := 0; i < repeats; i++ {
-			s, err := RunExperiment(ctx, spec, onControl)
+			s, err := RunExperiment(ctx, spec, env)
 			if err != nil {
 				return "", err
 			}
@@ -194,6 +193,7 @@ func runChaosFleet(t *testing.T, seed uint64) {
 	}
 	cs := startCoordServer(t, cfg)
 	defer cs.crash()
+	dumpChaosArtifacts(t, cs)
 
 	// The pool: w1 survives everything; w2 and w3 are killed at seeded
 	// random points; w4 joins late, like an autoscaled replacement.

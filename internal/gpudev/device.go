@@ -237,6 +237,99 @@ func (d *Device) QueuedChunks() int {
 		d.reserved.size + d.poisoned.size
 }
 
+// ChunkByID returns the chunk with the given id, or an error when the id is
+// out of range. It is the checkpoint-restore lookup: snapshot payloads name
+// chunks by id, and a corrupt snapshot must produce an error, not an
+// out-of-bounds panic.
+func (d *Device) ChunkByID(id int32) (*Chunk, error) {
+	if id < 0 || int(id) >= len(d.chunks) {
+		return nil, fmt.Errorf("gpudev: chunk id %d outside [0,%d)", id, len(d.chunks))
+	}
+	return &d.chunks[id], nil
+}
+
+// AppendQueueIDs appends the ids of the chunks on queue k, in list order
+// (head first), to dst and returns it. Checkpoint capture records every
+// queue's exact order this way: FIFO position and LRU position are part of
+// the simulation state, and a resumed run must replay evictions in the same
+// order an uninterrupted one would.
+func (d *Device) AppendQueueIDs(dst []int32, k QueueKind) []int32 {
+	var l *chunkList
+	switch k {
+	case QueueFree:
+		l = &d.free
+	case QueueUnused:
+		l = &d.unused
+	case QueueUsed:
+		l = &d.used
+	case QueueDiscarded:
+		l = &d.discarded
+	case QueueReserved:
+		l = &d.reserved
+	case QueuePoisoned:
+		l = &d.poisoned
+	default:
+		return dst
+	}
+	for i := l.head; i != noChunk; i = d.chunks[i].next {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// RestoreQueues relinks every queue to the exact sequences a checkpoint
+// snapshot recorded, in head-to-tail order. Ids absent from every sequence
+// are left detached (queue = none) — those are the cudaMalloc'd device
+// buffers, which the driver accounts separately. All per-use chunk fields
+// (Owner, PreparedPages, ...) are cleared; the caller reapplies them from the
+// snapshot after relinking. The sequences are validated — every id in range
+// and no id listed twice — and an invalid set of sequences returns an error
+// with the device unmodified, so a corrupt snapshot can never half-restore a
+// device.
+func (d *Device) RestoreQueues(free, unused, used, discarded, reserved, poisoned []int32) error {
+	seqs := []struct {
+		l   *chunkList
+		k   QueueKind
+		ids []int32
+	}{
+		{&d.free, QueueFree, free}, {&d.unused, QueueUnused, unused},
+		{&d.used, QueueUsed, used}, {&d.discarded, QueueDiscarded, discarded},
+		{&d.reserved, QueueReserved, reserved}, {&d.poisoned, QueuePoisoned, poisoned},
+	}
+	seen := make([]bool, len(d.chunks))
+	for _, q := range seqs {
+		for _, id := range q.ids {
+			if id < 0 || int(id) >= len(d.chunks) {
+				return fmt.Errorf("gpudev: restore: %v queue names chunk %d outside [0,%d)",
+					q.k, id, len(d.chunks))
+			}
+			if seen[id] {
+				return fmt.Errorf("gpudev: restore: chunk %d listed on more than one queue", id)
+			}
+			seen[id] = true
+		}
+	}
+	for i := range d.chunks {
+		c := &d.chunks[i]
+		c.queue = QueueNone
+		c.prev, c.next = noChunk, noChunk
+		c.Owner = nil
+		c.PreparedPages = 0
+		c.NeedsUnmapOnReclaim = false
+		c.DeviceBuffer = false
+	}
+	for _, q := range seqs {
+		q.l.init()
+		q.l.size = 0
+		for _, id := range q.ids {
+			c := &d.chunks[id]
+			c.queue = q.k
+			q.l.pushTail(d.chunks, c)
+		}
+	}
+	return nil
+}
+
 // CheckInvariants verifies that every chunk is on exactly the queue its
 // state claims and that queue sizes add up. It is called from tests and is
 // cheap enough to sprinkle into long simulations when debugging.

@@ -31,8 +31,15 @@ type ServiceCollector struct {
 	// fails, the worker survives.
 	Panics atomic.Int64
 	// Resumed counts journaled experiment results served without re-running
-	// when a batch resumed from its journal.
+	// when a batch resumed from its journal, plus workload runs resumed from
+	// an on-disk checkpoint snapshot.
 	Resumed atomic.Int64
+	// CheckpointsSaved counts snapshot files durably written for
+	// checkpoint-enabled workload runs.
+	CheckpointsSaved atomic.Int64
+	// CheckpointsCorrupt counts restore attempts that rejected a torn or
+	// corrupt snapshot and fell back to a from-zero run.
+	CheckpointsCorrupt atomic.Int64
 }
 
 // ServiceSnapshot is a point-in-time copy of the counters, shaped for JSON.
@@ -46,6 +53,9 @@ type ServiceSnapshot struct {
 	BudgetExpired   int64 `json:"budget_expired"`
 	Panics          int64 `json:"panics"`
 	Resumed         int64 `json:"resumed"`
+
+	CheckpointsSaved   int64 `json:"checkpoints_saved"`
+	CheckpointsCorrupt int64 `json:"checkpoints_corrupt"`
 }
 
 // Snapshot copies the counters.
@@ -60,5 +70,8 @@ func (s *ServiceCollector) Snapshot() ServiceSnapshot {
 		BudgetExpired:   s.BudgetExpired.Load(),
 		Panics:          s.Panics.Load(),
 		Resumed:         s.Resumed.Load(),
+
+		CheckpointsSaved:   s.CheckpointsSaved.Load(),
+		CheckpointsCorrupt: s.CheckpointsCorrupt.Load(),
 	}
 }

@@ -1,0 +1,137 @@
+package metrics
+
+import "uvmdiscard/internal/sim"
+
+// CounterState is a plain-data, JSON-serializable image of every counter a
+// Collector accumulates. It is the checkpoint payload for metrics: a
+// snapshot taken mid-run with State is restored by Reset + AddState on a
+// fresh collector, after which the resumed run's counters continue exactly
+// where the interrupted run's left off — the byte-identical-output invariant
+// extends to every reported counter.
+//
+// Residency gauges are deliberately absent: they are point-in-time views the
+// driver republishes (PublishResidency), not accumulated state.
+type CounterState struct {
+	Bytes [2][5]uint64 `json:"bytes"`
+	Ops   [2][5]int64  `json:"ops"`
+
+	Evicts   [4]int64 `json:"evicts"`
+	SavedH2D uint64   `json:"saved_h2d"`
+	SavedD2H uint64   `json:"saved_d2h"`
+
+	PeerBytes uint64 `json:"peer_bytes"`
+	PeerOps   int64  `json:"peer_ops"`
+	PeerSaved uint64 `json:"peer_saved"`
+
+	FaultBatches  int64 `json:"fault_batches"`
+	FaultedBlocks int64 `json:"faulted_blocks"`
+	ZeroBlocks    int64 `json:"zero_blocks"`
+	ZeroPages     int64 `json:"zero_pages"`
+	UnmapBlocks   int64 `json:"unmap_blocks"`
+	MapBlocks     int64 `json:"map_blocks"`
+	DiscardCalls  int64 `json:"discard_calls"`
+	DiscardBlocks int64 `json:"discard_blocks"`
+
+	MigrateRetries int64  `json:"migrate_retries"`
+	UnmapRetries   int64  `json:"unmap_retries"`
+	FaultReplays   int64  `json:"fault_replays"`
+	DegradedBlocks int64  `json:"degraded_blocks"`
+	DegradedBytes  uint64 `json:"degraded_bytes"`
+	PoisonedChunks int64  `json:"poisoned_chunks"`
+	PoisonLost     uint64 `json:"poison_lost"`
+	PoisonSaved    uint64 `json:"poison_saved"`
+
+	APITime map[string]sim.Time `json:"api_time,omitempty"`
+}
+
+// State captures every counter into a CounterState. Like Snapshot, each
+// counter is read atomically; a state captured after the owning run has
+// quiesced (the only point checkpoints are taken) is exact.
+func (c *Collector) State() CounterState {
+	var s CounterState
+	for dir := Direction(0); dir < numDirections; dir++ {
+		for cause := Cause(0); cause < numCauses; cause++ {
+			s.Bytes[dir][cause] = c.bytes[dir][cause].Load()
+			s.Ops[dir][cause] = c.ops[dir][cause].Load()
+		}
+	}
+	for es := EvictSource(0); es < numEvictSources; es++ {
+		s.Evicts[es] = c.evicts[es].Load()
+	}
+	s.SavedH2D = c.savedH2D.Load()
+	s.SavedD2H = c.savedD2H.Load()
+	s.PeerBytes = c.peerBytes.Load()
+	s.PeerOps = c.peerOps.Load()
+	s.PeerSaved = c.peerSaved.Load()
+	s.FaultBatches = c.faultBatches.Load()
+	s.FaultedBlocks = c.faultedBlocks.Load()
+	s.ZeroBlocks = c.zeroBlocks.Load()
+	s.ZeroPages = c.zeroPages.Load()
+	s.UnmapBlocks = c.unmapBlocks.Load()
+	s.MapBlocks = c.mapBlocks.Load()
+	s.DiscardCalls = c.discardCalls.Load()
+	s.DiscardBlocks = c.discardBlocks.Load()
+	s.MigrateRetries = c.migrateRetries.Load()
+	s.UnmapRetries = c.unmapRetries.Load()
+	s.FaultReplays = c.faultReplays.Load()
+	s.DegradedBlocks = c.degradedBlocks.Load()
+	s.DegradedBytes = c.degradedBytes.Load()
+	s.PoisonedChunks = c.poisonedChunks.Load()
+	s.PoisonLost = c.poisonLost.Load()
+	s.PoisonSaved = c.poisonSaved.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.apiTime) > 0 {
+		s.APITime = make(map[string]sim.Time, len(c.apiTime))
+		for k, v := range c.apiTime {
+			s.APITime[k] = v
+		}
+	}
+	return s
+}
+
+// AddState adds a previously captured CounterState into c. Restore pattern:
+// Reset then AddState leaves the collector carrying exactly the snapshot's
+// counters; AddState alone folds a snapshot into a cumulative collector.
+func (c *Collector) AddState(s CounterState) {
+	for dir := Direction(0); dir < numDirections; dir++ {
+		for cause := Cause(0); cause < numCauses; cause++ {
+			c.bytes[dir][cause].Add(s.Bytes[dir][cause])
+			c.ops[dir][cause].Add(s.Ops[dir][cause])
+		}
+	}
+	for es := EvictSource(0); es < numEvictSources; es++ {
+		c.evicts[es].Add(s.Evicts[es])
+	}
+	c.savedH2D.Add(s.SavedH2D)
+	c.savedD2H.Add(s.SavedD2H)
+	c.peerBytes.Add(s.PeerBytes)
+	c.peerOps.Add(s.PeerOps)
+	c.peerSaved.Add(s.PeerSaved)
+	c.faultBatches.Add(s.FaultBatches)
+	c.faultedBlocks.Add(s.FaultedBlocks)
+	c.zeroBlocks.Add(s.ZeroBlocks)
+	c.zeroPages.Add(s.ZeroPages)
+	c.unmapBlocks.Add(s.UnmapBlocks)
+	c.mapBlocks.Add(s.MapBlocks)
+	c.discardCalls.Add(s.DiscardCalls)
+	c.discardBlocks.Add(s.DiscardBlocks)
+	c.migrateRetries.Add(s.MigrateRetries)
+	c.unmapRetries.Add(s.UnmapRetries)
+	c.faultReplays.Add(s.FaultReplays)
+	c.degradedBlocks.Add(s.DegradedBlocks)
+	c.degradedBytes.Add(s.DegradedBytes)
+	c.poisonedChunks.Add(s.PoisonedChunks)
+	c.poisonLost.Add(s.PoisonLost)
+	c.poisonSaved.Add(s.PoisonSaved)
+	if len(s.APITime) > 0 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.apiTime == nil {
+			c.apiTime = make(map[string]sim.Time, len(s.APITime))
+		}
+		for k, v := range s.APITime {
+			c.apiTime[k] += v
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The service-level checkpoint tests: a fir run submitted with a checkpoint
+// name persists fsync'd snapshots under DataDir at every step boundary, an
+// interrupted run's re-submission resumes from the last one byte-identical
+// to an uninterrupted run, a corrupt file is rejected into a clean
+// from-zero rerun, and the retention policy bounds the data dir alongside
+// the job table.
+//
+// Interruption is deterministic: quick fir spends ~133ms of simulated time
+// generating the host input, then issues all 8 windows asynchronously and
+// drains them in a final synchronize that ends near 160ms. A 140ms sim
+// budget therefore always stops the run inside that drain — after the step
+// boundaries have durably snapshotted, before the run can finish.
+
+const interruptBudgetMS = 140
+
+func ckptFile(dir, name string) string { return filepath.Join(dir, name+".ckpt") }
+
+func TestRunCheckpointResumeAfterInterruption(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestService(t, Config{Workers: 1, DataDir: dir})
+
+	// Ground truth: the same run, uninterrupted, without checkpointing.
+	_, ref := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true})
+	refDone := waitState(t, ts, ref.ID, stateDone)
+
+	// Interrupted attempt: the sim budget stops it mid-job, leaving the
+	// last step boundary's snapshot durably on disk.
+	_, j1 := post(t, ts, "/v1/runs", RunRequest{
+		Workload: "fir", Quick: true, Checkpoint: "r1", SimBudgetMS: interruptBudgetMS})
+	waitState(t, ts, j1.ID, stateBudget)
+	if _, err := os.Stat(ckptFile(dir, "r1")); err != nil {
+		t.Fatalf("interrupted run left no snapshot: %v", err)
+	}
+	if n := s.Metrics().CheckpointsSaved.Load(); n < 1 {
+		t.Fatalf("CheckpointsSaved = %d, want >= 1", n)
+	}
+
+	// Re-submission under the same name resumes and must reproduce the
+	// uninterrupted run's bytes exactly.
+	_, j2 := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true, Checkpoint: "r1"})
+	got := waitState(t, ts, j2.ID, stateDone)
+	if got.Resumed != 1 {
+		t.Errorf("resumed = %d, want 1", got.Resumed)
+	}
+	if got.Output != refDone.Output {
+		t.Errorf("resumed run output diverged from uninterrupted run\ngot:\n%s\nwant:\n%s",
+			got.Output, refDone.Output)
+	}
+	// A clean completion reclaims the snapshot file.
+	if _, err := os.Stat(ckptFile(dir, "r1")); !os.IsNotExist(err) {
+		t.Errorf("finished run's snapshot not deleted (stat err %v)", err)
+	}
+}
+
+func TestRunCheckpointCorruptFallsBackToFreshRun(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestService(t, Config{Workers: 1, DataDir: dir})
+
+	_, ref := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true})
+	refDone := waitState(t, ts, ref.ID, stateDone)
+
+	_, j1 := post(t, ts, "/v1/runs", RunRequest{
+		Workload: "fir", Quick: true, Checkpoint: "c1", SimBudgetMS: interruptBudgetMS})
+	waitState(t, ts, j1.ID, stateBudget)
+
+	// Disk rot: flip one payload bit in the snapshot file.
+	path := ckptFile(dir, "c1")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	blob[len(blob)-1] ^= 0x20
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write corrupt snapshot: %v", err)
+	}
+
+	_, j2 := post(t, ts, "/v1/runs", RunRequest{Workload: "fir", Quick: true, Checkpoint: "c1"})
+	got := waitState(t, ts, j2.ID, stateDone)
+	if got.Resumed != 0 {
+		t.Errorf("corrupt snapshot was resumed (resumed = %d)", got.Resumed)
+	}
+	if n := s.Metrics().CheckpointsCorrupt.Load(); n != 1 {
+		t.Errorf("CheckpointsCorrupt = %d, want 1", n)
+	}
+	if got.Output != refDone.Output {
+		t.Errorf("fallback run output diverged from uninterrupted run\ngot:\n%s\nwant:\n%s",
+			got.Output, refDone.Output)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("finished run's snapshot not deleted (stat err %v)", err)
+	}
+}
+
+// Retention must bound the data dir, not just the job table: evicting a
+// terminal job deletes its snapshot file (unless a retained resubmission
+// still references it), so interrupted-and-abandoned runs cannot grow the
+// directory forever.
+func TestCheckpointDataDirBoundedByRetention(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestService(t, Config{Workers: 1, RetainJobs: 2, DataDir: dir})
+
+	names := []string{"b1", "b2", "b3", "b4"}
+	for _, name := range names {
+		_, j := post(t, ts, "/v1/runs", RunRequest{
+			Workload: "fir", Quick: true, Checkpoint: name, SimBudgetMS: interruptBudgetMS})
+		waitState(t, ts, j.ID, stateBudget)
+		if _, err := os.Stat(ckptFile(dir, name)); err != nil {
+			t.Fatalf("run %s left no snapshot: %v", name, err)
+		}
+	}
+
+	// RetainJobs=2: b1 and b2 were evicted as b3/b4 completed, and their
+	// snapshots must have gone with them.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			left = append(left, e.Name())
+		}
+	}
+	if len(left) != 2 {
+		t.Fatalf("data dir holds %d snapshots %v, want exactly 2 (RetainJobs)", len(left), left)
+	}
+	for _, name := range []string{"b3.ckpt", "b4.ckpt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("retained job's snapshot %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestCheckpointRequestValidation(t *testing.T) {
+	// Checkpointing needs a data dir.
+	_, tsNoDir := newTestService(t, Config{Workers: 1})
+	if code, _ := post(t, tsNoDir, "/v1/runs", RunRequest{
+		Workload: "fir", Quick: true, Checkpoint: "x"}); code != http.StatusBadRequest {
+		t.Errorf("checkpoint without data dir accepted with %d", code)
+	}
+
+	_, ts := newTestService(t, Config{Workers: 1, DataDir: t.TempDir()})
+	for _, body := range []RunRequest{
+		{Workload: "graph", Quick: true, Checkpoint: "x"},                  // fir only
+		{Workload: "fir", Quick: true, Checkpoint: "../escape"},            // path-unsafe
+		{Workload: "fir", Quick: true, Checkpoint: "x", Faults: "dma=0.5"}, // nondeterministic vs snapshot digest
+	} {
+		if code, _ := post(t, ts, "/v1/runs", body); code != http.StatusBadRequest {
+			t.Errorf("%+v accepted with %d", body, code)
+		}
+	}
+}

@@ -60,6 +60,12 @@ type RunRequest struct {
 	// SimBudgetMS caps this run's simulated time in milliseconds of sim
 	// time; 0 uses the server default.
 	SimBudgetMS int64 `json:"sim_budget_ms"`
+	// Checkpoint names this run's crash-survivable snapshot file (a
+	// path-safe slug, fir only). The run persists a snapshot at every step
+	// boundary; a re-submitted run with the same name resumes from the last
+	// one — byte-identical to an uninterrupted run — and a clean completion
+	// deletes the file. Requires the server to run with a data directory.
+	Checkpoint string `json:"checkpoint"`
 
 	faults *faultinject.Config
 }
@@ -85,6 +91,17 @@ func (r *RunRequest) validate() error {
 			return err
 		}
 		r.faults = cfg
+	}
+	if r.Checkpoint != "" {
+		if r.Workload != "fir" {
+			return fmt.Errorf("checkpointing is supported for the fir workload only (got %q)", r.Workload)
+		}
+		if !journalName.MatchString(r.Checkpoint) {
+			return fmt.Errorf("checkpoint name %q: want 1-128 chars of [A-Za-z0-9._-]", r.Checkpoint)
+		}
+		if r.Faults != "" {
+			return fmt.Errorf("checkpointing cannot be combined with fault injection")
+		}
 	}
 	return nil
 }
@@ -149,6 +166,9 @@ type job struct {
 	// time, so the job record shows what will actually be enforced.
 	wall time.Duration
 	simB sim.Time
+	// ckpt is the run's snapshot file path (workload jobs submitted with a
+	// checkpoint name); eviction from the retention table reclaims it.
+	ckpt string
 
 	mu      sync.Mutex
 	state   jobState
@@ -200,6 +220,9 @@ func (s *Server) newJob(kind jobKind, run RunRequest, batch *BatchRequest) *job 
 	j.simB = s.cfg.DefaultSimBudget
 	if simMS > 0 {
 		j.simB = sim.Time(simMS) * sim.Millisecond
+	}
+	if kind == jobWorkload && run.Checkpoint != "" {
+		j.ckpt = s.checkpointPath(run.Checkpoint)
 	}
 	return j
 }

@@ -22,6 +22,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"os"
 	"path/filepath"
 	"regexp"
 	"runtime"
@@ -50,6 +51,12 @@ type Config struct {
 	// a journal name appends completed results to <JournalDir>/<name>.jsonl
 	// and resumes from it on re-submit. Empty disables journaling.
 	JournalDir string
+	// DataDir enables per-run checkpoint snapshots: a workload run submitted
+	// with a checkpoint name durably persists a snapshot of the live
+	// simulation to <DataDir>/<name>.ckpt at every step boundary, and a
+	// re-submitted run with the same name resumes from it — surviving even a
+	// SIGKILL of the whole daemon. Empty disables checkpointing.
+	DataDir string
 	// DefaultWallBudget caps each job's wall-clock time when the request
 	// does not set its own; <=0 means 2 minutes. This is the watchdog that
 	// keeps a runaway simulation from pinning a worker forever — requests
@@ -208,8 +215,10 @@ func (s *Server) pruneLocked() {
 		return
 	}
 	keep := s.order[:0]
+	var evicted []*job
 	for _, id := range s.order {
 		if evict > 0 && s.jobs[id].terminal() {
+			evicted = append(evicted, s.jobs[id])
 			delete(s.jobs, id)
 			evict--
 			continue
@@ -217,6 +226,29 @@ func (s *Server) pruneLocked() {
 		keep = append(keep, id)
 	}
 	s.order = keep
+	// Evicting a job also reclaims its on-disk snapshot — the data dir is
+	// bounded by the same retention policy as the job table — unless a
+	// retained job (a resubmitted resume under the same name) still points
+	// at the file.
+	for _, j := range evicted {
+		if j.ckpt == "" || s.checkpointInUseLocked(j.ckpt) {
+			continue
+		}
+		if err := os.Remove(j.ckpt); err != nil && !os.IsNotExist(err) {
+			s.logf("job %s: evict checkpoint %s: %v", j.id, j.ckpt, err)
+		}
+	}
+}
+
+// checkpointInUseLocked reports whether any retained job still references
+// the snapshot at path. Caller holds s.mu.
+func (s *Server) checkpointInUseLocked(path string) bool {
+	for _, j := range s.jobs {
+		if j.ckpt == path {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) lookup(id string) *job {
@@ -400,6 +432,10 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	if req.Checkpoint != "" && s.cfg.DataDir == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "checkpointing disabled: server has no data directory"})
+		return
+	}
 	s.submit(w, s.newJob(jobWorkload, req, nil))
 }
 
@@ -478,4 +514,10 @@ var journalName = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
 
 func (s *Server) journalPath(name string) string {
 	return filepath.Join(s.cfg.JournalDir, name+".jsonl")
+}
+
+// checkpointPath places a run's snapshot file inside DataDir; names share
+// the journal slug alphabet so the file always lands there.
+func (s *Server) checkpointPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, name+".ckpt")
 }

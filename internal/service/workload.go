@@ -3,8 +3,10 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 
+	"uvmdiscard/internal/checkpoint"
 	"uvmdiscard/internal/core"
 	"uvmdiscard/internal/cuda"
 	"uvmdiscard/internal/experiments"
@@ -88,7 +90,21 @@ func (s *Server) runWorkloadJob(j *job) (string, error) {
 			cfg.WindowBytes = 64 * units.MiB
 			gpu = gpudev.Generic(1536 * units.MiB)
 		}
-		res, err = fir.Run(platformFor(req, gpu, j), sys, cfg)
+		env := s.checkpointEnv(j)
+		res, err = fir.RunCheckpointed(platformFor(req, gpu, j), sys, cfg, env)
+		if env != nil {
+			if env.Stats.Resumed {
+				j.addResumed(1)
+				s.sc.Resumed.Add(1)
+			}
+			if err == nil {
+				// Clean completion leaves nothing to resume; reclaim the file
+				// now rather than waiting for retention eviction.
+				if rerr := os.Remove(j.ckpt); rerr != nil && !os.IsNotExist(rerr) {
+					s.logf("job %s: remove finished checkpoint %s: %v", j.id, j.ckpt, rerr)
+				}
+			}
+		}
 	case "radixsort":
 		cfg := radixsort.DefaultConfig()
 		gpu := gpudev.RTX3080Ti()
@@ -138,6 +154,43 @@ func (s *Server) runWorkloadJob(j *job) (string, error) {
 		return "", err
 	}
 	return string(out) + "\n", nil
+}
+
+// checkpointEnv builds the job's on-disk checkpoint environment: restore
+// from the job's snapshot file when one survives on disk, durably rewrite
+// it at every step boundary, and count a rejected (torn/corrupt) restore as
+// it falls back to a from-zero run. Nil when the run was submitted without
+// a checkpoint name — that path stays exactly as before.
+func (s *Server) checkpointEnv(j *job) *checkpoint.Env {
+	if j.ckpt == "" {
+		return nil
+	}
+	env := &checkpoint.Env{
+		Every: 1,
+		Save: func(blob []byte) error {
+			if err := checkpoint.WriteFile(j.ckpt, blob); err != nil {
+				return err
+			}
+			s.sc.CheckpointsSaved.Add(1)
+			return nil
+		},
+		OnReject: func(reason string) {
+			s.sc.CheckpointsCorrupt.Add(1)
+			s.logf("job %s: checkpoint %s rejected (%s); restarting from zero", j.id, j.ckpt, reason)
+		},
+	}
+	blob, err := checkpoint.ReadFile(j.ckpt)
+	switch {
+	case err == nil:
+		env.Restore = blob
+	case os.IsNotExist(err):
+		// Fresh run; nothing to resume.
+	default:
+		// Unreadable file (permissions, I/O): start from zero rather than
+		// fail the job — durability must never outrank the answer.
+		s.logf("job %s: read checkpoint %s: %v; starting from zero", j.id, j.ckpt, err)
+	}
+	return env
 }
 
 // runSpin is the runaway simulation: an endless kernel loop over a small
